@@ -1,0 +1,221 @@
+package ftcsn
+
+// Benchmark harness: one benchmark per experiment (E1–E10, the paper's
+// tables/figures — see DESIGN.md §4 for the index) plus micro-benchmarks
+// of the hot paths (construction, fault injection, repair, access
+// certification, routing).
+//
+// Run everything:  go test -bench=. -benchmem
+// One experiment:  go test -bench=BenchmarkE8 -benchmem
+
+import (
+	"testing"
+
+	"ftcsn/internal/core"
+	"ftcsn/internal/experiments"
+	"ftcsn/internal/fault"
+	"ftcsn/internal/rng"
+	"ftcsn/internal/route"
+)
+
+func benchExperiment(b *testing.B, run func(experiments.Mode) experiments.Result) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := run(experiments.Quick)
+		if len(res.Tables) == 0 {
+			b.Fatal("experiment produced no tables")
+		}
+	}
+}
+
+// BenchmarkE1_MooreShannonAmplifier regenerates Proposition 1's
+// size/depth/failure table.
+func BenchmarkE1_MooreShannonAmplifier(b *testing.B) {
+	benchExperiment(b, experiments.E1MooreShannon)
+}
+
+// BenchmarkE2_TreePathExtraction regenerates the Lemma 1 table (Figs 1–3).
+func BenchmarkE2_TreePathExtraction(b *testing.B) {
+	benchExperiment(b, experiments.E2TreePaths)
+}
+
+// BenchmarkE3_DirectedGridAccess regenerates the Lemma 3 table (Fig 4).
+func BenchmarkE3_DirectedGridAccess(b *testing.B) {
+	benchExperiment(b, experiments.E3GridAccess)
+}
+
+// BenchmarkE4_ExpanderFaultTails regenerates the Lemmas 4–5 table.
+func BenchmarkE4_ExpanderFaultTails(b *testing.B) {
+	benchExperiment(b, experiments.E4ExpanderFaultTails)
+}
+
+// BenchmarkE5_MajorityAccess regenerates the Lemma 6 table.
+func BenchmarkE5_MajorityAccess(b *testing.B) {
+	benchExperiment(b, experiments.E5MajorityAccess)
+}
+
+// BenchmarkE6_TerminalShorting regenerates the Lemma 7 table.
+func BenchmarkE6_TerminalShorting(b *testing.B) {
+	benchExperiment(b, experiments.E6TerminalShorting)
+}
+
+// BenchmarkE7_Theorem2Pipeline regenerates the Theorem 2 accounting and
+// end-to-end pipeline tables.
+func BenchmarkE7_Theorem2Pipeline(b *testing.B) {
+	benchExperiment(b, experiments.E7Theorem2)
+}
+
+// BenchmarkE8_LowerBoundCrossover regenerates the Theorem 1 crossover
+// table (the headline comparison).
+func BenchmarkE8_LowerBoundCrossover(b *testing.B) {
+	benchExperiment(b, experiments.E8LowerBoundCrossover)
+}
+
+// BenchmarkE9_RoutingThroughput regenerates the §4 routing tables.
+func BenchmarkE9_RoutingThroughput(b *testing.B) {
+	benchExperiment(b, experiments.E9Routing)
+}
+
+// BenchmarkE10_Ablations regenerates the design-ablation tables.
+func BenchmarkE10_Ablations(b *testing.B) {
+	benchExperiment(b, experiments.E10Ablations)
+}
+
+// BenchmarkE11_Substitution regenerates the §3 edge-substitution table.
+func BenchmarkE11_Substitution(b *testing.B) {
+	benchExperiment(b, experiments.E11Substitution)
+}
+
+// BenchmarkE12_Hierarchy regenerates the §2 class-containment table.
+func BenchmarkE12_Hierarchy(b *testing.B) {
+	benchExperiment(b, experiments.E12Hierarchy)
+}
+
+// BenchmarkE13_DepthSizeFrontier regenerates the §2 depth-vs-size survey.
+func BenchmarkE13_DepthSizeFrontier(b *testing.B) {
+	benchExperiment(b, experiments.E13DepthSizeFrontier)
+}
+
+// --- micro-benchmarks ---
+
+func benchNetwork(b *testing.B, nu int) *Network {
+	b.Helper()
+	nw, err := Build(DefaultParams(nu))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return nw
+}
+
+// BenchmarkBuildNetwork measures constructing Network 𝒩 (n=64).
+func BenchmarkBuildNetwork(b *testing.B) {
+	p := DefaultParams(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFaultInjection measures drawing switch states at ε=10⁻³ with
+// geometric skipping (n=64 network, ~56k switches).
+func BenchmarkFaultInjection(b *testing.B) {
+	nw := benchNetwork(b, 3)
+	inst := fault.NewInstance(nw.G)
+	r := rng.New(1)
+	m := fault.Symmetric(1e-3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst.Reinject(m, r)
+	}
+}
+
+// BenchmarkRepair measures the discard-rule repair mask computation.
+func BenchmarkRepair(b *testing.B) {
+	nw := benchNetwork(b, 3)
+	inst := fault.Inject(nw.G, fault.Symmetric(1e-3), rng.New(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = inst.Repair()
+	}
+}
+
+// BenchmarkMajorityAccess measures the Lemma-6 certificate (BFS from every
+// terminal) on the fault-free n=64 network.
+func BenchmarkMajorityAccess(b *testing.B) {
+	nw := benchNetwork(b, 3)
+	ac := core.NewAccessChecker(nw)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := nw.MajorityAccess(ac, core.Masks{})
+		if !rep.OK {
+			b.Fatal("fault-free network lost majority access")
+		}
+	}
+}
+
+// BenchmarkGreedyConnect measures one connect+disconnect on n=64.
+func BenchmarkGreedyConnect(b *testing.B) {
+	nw := benchNetwork(b, 3)
+	rt := NewRouter(nw.G)
+	r := rng.New(3)
+	n := len(nw.Inputs())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := nw.Inputs()[r.Intn(n)]
+		out := nw.Outputs()[r.Intn(n)]
+		if _, err := rt.Connect(in, out); err == nil {
+			_ = rt.Disconnect(in, out)
+		}
+	}
+}
+
+// BenchmarkConcurrentBatch8 measures routing a full permutation with 8
+// worker goroutines on n=64.
+func BenchmarkConcurrentBatch8(b *testing.B) {
+	nw := benchNetwork(b, 3)
+	n := len(nw.Inputs())
+	perm := rng.New(4).Perm(n)
+	reqs := make([]route.Request, n)
+	for i := range reqs {
+		reqs[i] = route.Request{In: nw.Inputs()[i], Out: nw.Outputs()[perm[i]]}
+	}
+	cr := route.NewConcurrentRouter(nw.G)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := cr.ServeBatch(reqs, 8, uint64(i))
+		for _, res := range results {
+			if res.Path != nil {
+				cr.Release(res.Path)
+			}
+		}
+	}
+}
+
+// BenchmarkShortedTerminals measures the Lemma-7 union-find check.
+func BenchmarkShortedTerminals(b *testing.B) {
+	nw := benchNetwork(b, 3)
+	inst := fault.Inject(nw.G, fault.Symmetric(0.01), rng.New(5))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = inst.ShortedTerminals()
+	}
+}
+
+// BenchmarkIsolatedPair measures the all-pairs conductive reach check.
+func BenchmarkIsolatedPair(b *testing.B) {
+	nw := benchNetwork(b, 2)
+	inst := fault.Inject(nw.G, fault.Symmetric(0.01), rng.New(6))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = inst.IsolatedPair()
+	}
+}

@@ -1,0 +1,70 @@
+package ftcsn_test
+
+import (
+	"fmt"
+
+	"ftcsn"
+)
+
+// ExampleBuild constructs the paper's Network 𝒩 and reports its paper
+// complexity measures (size = switches, depth = switches on the longest
+// path).
+func ExampleBuild() {
+	nw, err := ftcsn.Build(ftcsn.DefaultParams(2))
+	if err != nil {
+		panic(err)
+	}
+	acct := ftcsn.Accounting(nw.P)
+	fmt.Printf("n=%d size=%d depth=%d\n", len(nw.Inputs()), acct.Edges, acct.Depth)
+	// Output: n=16 size=6912 depth=8
+}
+
+// ExampleNetwork_Evaluate runs the full Theorem-2 pipeline: inject faults,
+// repair by discarding, certify majority access, and exercise greedy
+// routing churn.
+func ExampleNetwork_Evaluate() {
+	nw, err := ftcsn.Build(ftcsn.DefaultParams(2))
+	if err != nil {
+		panic(err)
+	}
+	out := nw.Evaluate(ftcsn.Symmetric(0), 1, 100)
+	fmt.Printf("fault-free success=%v blocked=%d\n", out.Success, out.ChurnFailures)
+	// Output: fault-free success=true blocked=0
+}
+
+// ExampleNewBenes routes a permutation through the Beneš baseline with
+// the classic looping algorithm.
+func ExampleNewBenes() {
+	bn, err := ftcsn.NewBenes(2) // n = 4
+	if err != nil {
+		panic(err)
+	}
+	perm := []int{2, 3, 0, 1}
+	paths, err := bn.RoutePermutation(perm)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("circuits=%d valid=%v\n", len(paths), bn.VerifyRouting(perm, paths) == nil)
+	// Output: circuits=4 valid=true
+}
+
+// ExampleInject draws a deterministic fault instance and applies the
+// paper's failure witnesses.
+func ExampleInject() {
+	nw, err := ftcsn.Build(ftcsn.DefaultParams(1))
+	if err != nil {
+		panic(err)
+	}
+	inst := ftcsn.Inject(nw.G, ftcsn.Symmetric(0.01), 7)
+	shortedA, _ := inst.ShortedTerminals()
+	isolatedA, _ := inst.IsolatedPair()
+	fmt.Printf("failed=%d shorted=%v isolated=%v\n",
+		inst.NumFailed(), shortedA >= 0, isolatedA >= 0)
+	// Output: failed=15 shorted=false isolated=false
+}
+
+// ExampleLowerBoundSize evaluates Theorem 1's size bound.
+func ExampleLowerBoundSize() {
+	fmt.Printf("%.0f\n", ftcsn.LowerBoundSize(1<<20))
+	// Output: 156038
+}

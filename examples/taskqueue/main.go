@@ -1,0 +1,58 @@
+// Taskqueue demonstrates superconcentrators as the substrate of the task
+// queue scheme in parallel computing (the paper's §2 citing Cole [Co]):
+// at every scheduling round, some r processors hold ready tasks and some
+// r other processors are idle; a superconcentrator connects ANY r sources
+// to ANY r sinks by vertex-disjoint paths — regardless of which r — with
+// only O(n) switches.
+//
+//	go run ./examples/taskqueue
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ftcsn"
+	"ftcsn/internal/maxflow"
+	"ftcsn/internal/rng"
+)
+
+func main() {
+	const n = 64
+	sc, err := ftcsn.NewSuperconcentrator(n, 4, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("superconcentrator for %d processors: %d switches (%.1f per processor — linear!)\n\n",
+		n, sc.G.NumEdges(), float64(sc.G.NumEdges())/n)
+
+	r := rng.New(5)
+	// Ten scheduling rounds with random load imbalance.
+	for round := 1; round <= 10; round++ {
+		k := 1 + r.Intn(n) // number of overloaded/idle processor pairs
+		overloaded := r.Sample(n, k)
+		idle := r.Sample(n, k)
+		srcs := make([]int32, k)
+		dsts := make([]int32, k)
+		for i := 0; i < k; i++ {
+			srcs[i] = sc.G.Inputs()[overloaded[i]]
+			dsts[i] = sc.G.Outputs()[idle[i]]
+		}
+		// Vertex-disjoint path packing via max-flow (Menger).
+		flow := maxflow.VertexDisjointPaths(sc.G, srcs, dsts)
+		status := "OK"
+		if flow < k {
+			status = "FAILED"
+		}
+		fmt.Printf("  round %2d: %2d ready tasks → %2d idle workers: %2d disjoint circuits [%s]\n",
+			round, k, k, flow, status)
+		if flow < k {
+			log.Fatal("superconcentrator property violated — file a bug")
+		}
+	}
+
+	fmt.Println("\nevery round saturated: the defining property \"for every r, every r")
+	fmt.Println("inputs reach every r outputs disjointly\" [AHU] — with linear size [V].")
+	fmt.Println("Under switch failures this property needs Θ(n log²n) switches (Theorem 1);")
+	fmt.Println("see cmd/ftsim and experiment E8 for that crossover.")
+}

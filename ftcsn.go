@@ -1,0 +1,137 @@
+// Package ftcsn is a production-quality Go implementation of
+//
+//	Nicholas Pippenger and Geng Lin,
+//	"Fault-Tolerant Circuit-Switching Networks",
+//	SIAM J. Discrete Math. 7(1):108–118, 1994 (SPAA 1992).
+//
+// The paper studies circuit-switching networks under the random switch
+// failure model: every switch independently suffers an open failure
+// (probability ε), a closed failure (probability ε), or works. It proves
+// that fault-tolerant nonblocking networks, rearrangeable networks and
+// superconcentrators all require Θ(n (log n)²) switches and Θ(log n)
+// depth, and explicitly constructs an optimal fault-tolerant strictly
+// nonblocking network (Network 𝒩).
+//
+// This package is the stable public API; it re-exports the core types
+// from the internal packages:
+//
+//   - Build / Params: the paper's Network 𝒩 (§6, Fig. 5, Theorem 2), a
+//     fault-tolerant strictly nonblocking network built from directed
+//     grids (Moore–Shannon hammocks) and expanding graphs;
+//   - NewBenes: the Beneš rearrangeable baseline with the looping
+//     routing algorithm;
+//   - NewSuperconcentrator: linear-size superconcentrators with
+//     max-flow verification;
+//   - Symmetric / Inject: the random switch failure model;
+//   - NewRouter / NewRepairedRouter: greedy circuit routing (§4);
+//   - Evaluate: the end-to-end Theorem-2 pipeline
+//     (inject → discard repair → majority-access certificate → churn).
+//
+// The experiment harness reproducing every quantitative claim of the
+// paper lives in internal/experiments and is driven by cmd/ftbench; see
+// DESIGN.md and EXPERIMENTS.md.
+package ftcsn
+
+import (
+	"ftcsn/internal/benes"
+	"ftcsn/internal/clos"
+	"ftcsn/internal/core"
+	"ftcsn/internal/fault"
+	"ftcsn/internal/graph"
+	"ftcsn/internal/rng"
+	"ftcsn/internal/route"
+	"ftcsn/internal/superconc"
+)
+
+// Params configures Network 𝒩; see core.Params for field documentation.
+type Params = core.Params
+
+// Network is a materialized Network 𝒩.
+type Network = core.Network
+
+// TrialOutcome is the result of one fault-tolerance trial.
+type TrialOutcome = core.TrialOutcome
+
+// FaultModel holds the per-switch failure probabilities (ε₁, ε₂).
+type FaultModel = fault.Model
+
+// FaultInstance is one random realization of switch states.
+type FaultInstance = fault.Instance
+
+// Router serves connect/disconnect requests with greedy path-finding.
+type Router = route.Router
+
+// Graph is the underlying immutable switch-network graph.
+type Graph = graph.Graph
+
+// Benes is the Beneš rearrangeable baseline network.
+type Benes = benes.Network
+
+// Superconcentrator is the linear-size superconcentrator substrate.
+type Superconcentrator = superconc.Network
+
+// Build materializes the paper's Network 𝒩 for the given parameters.
+func Build(p Params) (*Network, error) { return core.Build(p) }
+
+// DefaultParams returns laptop-scale parameters preserving the paper's
+// structure for n = 4^nu terminals.
+func DefaultParams(nu int) Params { return core.DefaultParams(nu) }
+
+// PaperParams returns the paper-faithful constants (huge; typically used
+// only with Accounting).
+func PaperParams(nu int) Params { return core.PaperParams(nu) }
+
+// Accounting returns closed-form size/depth for parameters without
+// materializing the network.
+func Accounting(p Params) core.Acct { return core.Accounting(p) }
+
+// PaperAccounting reports the paper-constant sizes (Theorem 2 accounting).
+func PaperAccounting(nu int) core.PaperAcct { return core.PaperAccounting(nu) }
+
+// Symmetric returns the paper's symmetric failure model ε₁ = ε₂ = ε.
+func Symmetric(eps float64) FaultModel { return fault.Symmetric(eps) }
+
+// Inject draws a random fault instance for g under model m, seeded
+// deterministically.
+func Inject(g *Graph, m FaultModel, seed uint64) *FaultInstance {
+	return fault.Inject(g, m, rng.New(seed))
+}
+
+// NewRouter returns a greedy circuit router over the fault-free network.
+func NewRouter(g *Graph) *Router { return route.NewRouter(g) }
+
+// NewRepairedRouter returns a router over the network repaired from inst
+// by the paper's rule: discard every faulty non-terminal vertex.
+func NewRepairedRouter(inst *FaultInstance) *Router { return route.NewRepairedRouter(inst) }
+
+// NewBenes builds the Beneš rearrangeable network on 2^k terminals.
+func NewBenes(k int) (*Benes, error) { return benes.New(k) }
+
+// NewSuperconcentrator builds an n-superconcentrator with concentrator
+// degree d.
+func NewSuperconcentrator(n, d int, seed uint64) (*Superconcentrator, error) {
+	return superconc.New(n, d, seed)
+}
+
+// Clos is a three-stage Clos network.
+type Clos = clos.Network
+
+// NewClos builds the minimal strictly nonblocking Clos network for
+// N = r·n₀ terminals (Clos's theorem: m = 2n₀−1 middles).
+func NewClos(n0, r int) (*Clos, error) { return clos.NewStrict(n0, r) }
+
+// RecursiveClos is the multi-stage strictly nonblocking Clos recursion.
+type RecursiveClos = clos.RecursiveNetwork
+
+// NewRecursiveClos builds a strictly nonblocking network on n₀^levels
+// terminals with depth 2·levels−1 — the O(n^(1+1/k)) depth-vs-size
+// frontier the paper's construction refines with expanders.
+func NewRecursiveClos(n0, levels int) (*RecursiveClos, error) {
+	return clos.NewRecursive(n0, levels)
+}
+
+// LowerBoundSize is Theorem 1's Ω(n log²n) size bound: n(log₂n)²/2688.
+func LowerBoundSize(n int) float64 { return core.LowerBoundSize(n) }
+
+// LowerBoundDepth is Theorem 1's Ω(log n) depth bound: (log₂n)/6.
+func LowerBoundDepth(n int) float64 { return core.LowerBoundDepth(n) }

@@ -1,0 +1,127 @@
+package ftcsn
+
+import (
+	"testing"
+
+	"ftcsn/internal/maxflow"
+)
+
+// TestEndToEnd exercises the full public API surface the way README's
+// quickstart does: build, fault, repair, route.
+func TestEndToEnd(t *testing.T) {
+	nw, err := Build(DefaultParams(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nw.Inputs()) != 16 || len(nw.Outputs()) != 16 {
+		t.Fatalf("terminals: %d/%d", len(nw.Inputs()), len(nw.Outputs()))
+	}
+
+	inst := Inject(nw.G, Symmetric(0.001), 42)
+	rt := NewRepairedRouter(inst)
+	ok := 0
+	for i, in := range nw.Inputs() {
+		if _, err := rt.Connect(in, nw.Outputs()[(i+5)%16]); err == nil {
+			ok++
+		}
+	}
+	if ok < 15 {
+		t.Fatalf("only %d/16 circuits established at ε=0.001", ok)
+	}
+	if err := rt.VerifyInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluatePipeline(t *testing.T) {
+	nw, err := Build(DefaultParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := nw.Evaluate(Symmetric(0), 1, 100)
+	if !out.Success {
+		t.Fatalf("fault-free pipeline failed: %+v", out)
+	}
+}
+
+func TestBenesFacade(t *testing.T) {
+	bn, err := NewBenes(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := []int{7, 6, 5, 4, 3, 2, 1, 0}
+	paths, err := bn.RoutePermutation(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bn.VerifyRouting(perm, paths); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuperconcentratorFacade(t *testing.T) {
+	sc, err := NewSuperconcentrator(16, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow := maxflow.VertexDisjointPaths(sc.G, sc.G.Inputs(), sc.G.Outputs())
+	if flow != 16 {
+		t.Fatalf("saturation flow = %d", flow)
+	}
+}
+
+func TestAccountingFacade(t *testing.T) {
+	p := DefaultParams(3)
+	a := Accounting(p)
+	if a.Edges <= 0 || a.Depth != 12 {
+		t.Fatalf("accounting: %+v", a)
+	}
+	pa := PaperAccounting(2)
+	if pa.N != 16 {
+		t.Fatalf("paper accounting: %+v", pa)
+	}
+	if LowerBoundSize(1<<20) <= 0 || LowerBoundDepth(1<<20) <= 0 {
+		t.Fatal("lower bounds non-positive")
+	}
+}
+
+func TestClosFacade(t *testing.T) {
+	c, err := NewClos(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsStrictSenseNonblocking() {
+		t.Fatal("NewClos not strict")
+	}
+	rc, err := NewRecursiveClos(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.N != 8 || rc.Depth() != 5 {
+		t.Fatalf("recursive clos N=%d depth=%d", rc.N, rc.Depth())
+	}
+	// Both must be fully rearrangeable (flow saturation).
+	if flow := maxflow.VertexDisjointPaths(c.G, c.G.Inputs(), c.G.Outputs()); flow != c.N {
+		t.Fatalf("clos saturation = %d", flow)
+	}
+	if flow := maxflow.VertexDisjointPaths(rc.G, rc.G.Inputs(), rc.G.Outputs()); flow != rc.N {
+		t.Fatalf("recursive saturation = %d", flow)
+	}
+}
+
+func TestHierarchyContainment(t *testing.T) {
+	// The paper's observation: a nonblocking network is rearrangeable, and
+	// a rearrangeable network is a superconcentrator. Operationally: 𝒩
+	// must pass the superconcentrator flow test for sampled r.
+	nw, err := Build(DefaultParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r <= 4; r++ {
+		ins := nw.Inputs()[:r]
+		outs := nw.Outputs()[4-r:]
+		if flow := maxflow.VertexDisjointPaths(nw.G, ins, outs); flow != r {
+			t.Fatalf("r=%d: flow %d", r, flow)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetTestClear(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Test(i) {
+			t.Fatalf("bit %d set in fresh set", i)
+		}
+		s.Set(i)
+		if !s.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		s.Clear(i)
+		if s.Test(i) {
+			t.Fatalf("bit %d set after Clear", i)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	s := New(200)
+	for i := 0; i < 200; i += 3 {
+		s.Set(i)
+	}
+	want := 0
+	for i := 0; i < 200; i += 3 {
+		want++
+	}
+	if got := s.Count(); got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+}
+
+func TestSetAllRespectsCapacity(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 100, 128} {
+		s := New(n)
+		s.SetAll()
+		if got := s.Count(); got != n {
+			t.Fatalf("SetAll(%d).Count = %d", n, got)
+		}
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	s := New(300)
+	marks := []int{5, 64, 65, 192, 299}
+	for _, i := range marks {
+		s.Set(i)
+	}
+	var got []int
+	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
+		got = append(got, i)
+	}
+	if len(got) != len(marks) {
+		t.Fatalf("NextSet iteration found %v, want %v", got, marks)
+	}
+	for i := range marks {
+		if got[i] != marks[i] {
+			t.Fatalf("NextSet iteration found %v, want %v", got, marks)
+		}
+	}
+	if s.NextSet(300) != -1 {
+		t.Fatal("NextSet past capacity should be -1")
+	}
+}
+
+func TestNextSetEmpty(t *testing.T) {
+	s := New(100)
+	if s.NextSet(0) != -1 {
+		t.Fatal("NextSet on empty set should be -1")
+	}
+}
+
+func TestUnionIntersectAndNot(t *testing.T) {
+	a, b := New(128), New(128)
+	for i := 0; i < 128; i += 2 {
+		a.Set(i)
+	}
+	for i := 0; i < 128; i += 3 {
+		b.Set(i)
+	}
+	u := a.Clone()
+	u.Union(b)
+	x := a.Clone()
+	x.Intersect(b)
+	d := a.Clone()
+	d.AndNot(b)
+	for i := 0; i < 128; i++ {
+		inA, inB := i%2 == 0, i%3 == 0
+		if u.Test(i) != (inA || inB) {
+			t.Fatalf("Union wrong at %d", i)
+		}
+		if x.Test(i) != (inA && inB) {
+			t.Fatalf("Intersect wrong at %d", i)
+		}
+		if d.Test(i) != (inA && !inB) {
+			t.Fatalf("AndNot wrong at %d", i)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(64)
+	a.Set(10)
+	b := a.Clone()
+	b.Set(20)
+	if a.Test(20) {
+		t.Fatal("Clone shares storage")
+	}
+	if !b.Test(10) {
+		t.Fatal("Clone lost bits")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(70), New(70)
+	if !a.Equal(b) {
+		t.Fatal("empty sets not equal")
+	}
+	a.Set(69)
+	if a.Equal(b) {
+		t.Fatal("different sets reported equal")
+	}
+	b.Set(69)
+	if !a.Equal(b) {
+		t.Fatal("same sets not equal")
+	}
+	if a.Equal(New(71)) {
+		t.Fatal("sets of different capacity reported equal")
+	}
+}
+
+func TestMembers(t *testing.T) {
+	s := New(50)
+	s.Set(3)
+	s.Set(17)
+	s.Set(49)
+	got := s.Members(nil)
+	want := []int{3, 17, 49}
+	if len(got) != len(want) {
+		t.Fatalf("Members = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCountRange(t *testing.T) {
+	s := New(100)
+	for i := 10; i < 20; i++ {
+		s.Set(i)
+	}
+	if got := s.CountRange(0, 100); got != 10 {
+		t.Fatalf("CountRange full = %d", got)
+	}
+	if got := s.CountRange(15, 18); got != 3 {
+		t.Fatalf("CountRange(15,18) = %d", got)
+	}
+	if got := s.CountRange(20, 100); got != 0 {
+		t.Fatalf("CountRange(20,100) = %d", got)
+	}
+}
+
+// Property: for any list of indices, Count equals the number of distinct
+// indices set.
+func TestQuickCountMatchesDistinct(t *testing.T) {
+	f := func(idx []uint16) bool {
+		s := New(1 << 16)
+		distinct := map[int]bool{}
+		for _, i := range idx {
+			s.Set(int(i))
+			distinct[int(i)] = true
+		}
+		return s.Count() == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyFromAndReset(t *testing.T) {
+	a, b := New(64), New(64)
+	a.Set(5)
+	b.CopyFrom(a)
+	if !b.Test(5) {
+		t.Fatal("CopyFrom lost bit")
+	}
+	b.Reset()
+	if b.Any() {
+		t.Fatal("Reset left bits")
+	}
+	if !a.Any() {
+		t.Fatal("Reset affected source")
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"ftcsn/internal/fault"
+)
+
+// Masks restricts traversal during access checks. Nil slices impose no
+// restriction. VertexOK is the repair mask (discarded vertices are
+// unusable); Busy marks vertices held by established circuits; EdgeOK
+// marks switches that are normal with both endpoints usable.
+type Masks struct {
+	VertexOK []bool
+	EdgeOK   []bool
+	Busy     []bool
+}
+
+func (m Masks) vertexAllowed(v int32) bool {
+	if m.VertexOK != nil && !m.VertexOK[v] {
+		return false
+	}
+	if m.Busy != nil && m.Busy[v] {
+		return false
+	}
+	return true
+}
+
+func (m Masks) edgeAllowed(e int32) bool {
+	return m.EdgeOK == nil || m.EdgeOK[e]
+}
+
+// RepairMasks derives the traversal masks of the repaired network from a
+// fault instance, per the paper's discard rule.
+func RepairMasks(inst *fault.Instance) Masks {
+	usable := inst.Repair()
+	edgeOK := make([]bool, inst.G.NumEdges())
+	for e := range edgeOK {
+		edgeOK[e] = inst.RepairedEdgeUsable(usable, int32(e))
+	}
+	return Masks{VertexOK: usable, EdgeOK: edgeOK}
+}
+
+// AccessChecker performs the access computations of Lemmas 3 and 6:
+// counting how many vertices of a target stage an idle terminal can reach
+// through idle usable vertices. It owns epoch-stamped scratch so repeated
+// checks over one network allocate nothing.
+type AccessChecker struct {
+	nw    *Network
+	seen  []uint32
+	epoch uint32
+	queue []int32
+}
+
+// NewAccessChecker returns a checker for nw.
+func NewAccessChecker(nw *Network) *AccessChecker {
+	return &AccessChecker{
+		nw:    nw,
+		seen:  make([]uint32, nw.G.NumVertices()),
+		queue: make([]int32, 0, 1024),
+	}
+}
+
+func (ac *AccessChecker) bump() {
+	ac.epoch++
+	if ac.epoch == 0 {
+		for i := range ac.seen {
+			ac.seen[i] = 0
+		}
+		ac.epoch = 1
+	}
+}
+
+// CountForward returns the number of vertices on targetStage reachable
+// from src along forward switches through vertices allowed by m. src
+// itself must be allowed by the caller's convention (it is visited
+// unconditionally).
+func (ac *AccessChecker) CountForward(src int32, targetStage int, m Masks) int {
+	g := ac.nw.G
+	target := int32(targetStage)
+	ac.bump()
+	ac.seen[src] = ac.epoch
+	ac.queue = ac.queue[:0]
+	ac.queue = append(ac.queue, src)
+	count := 0
+	if g.Stage(src) == target {
+		count++
+	}
+	for head := 0; head < len(ac.queue); head++ {
+		v := ac.queue[head]
+		if g.Stage(v) >= target {
+			continue
+		}
+		for _, e := range g.OutEdges(v) {
+			if !m.edgeAllowed(e) {
+				continue
+			}
+			w := g.EdgeTo(e)
+			if ac.seen[w] == ac.epoch || !m.vertexAllowed(w) {
+				continue
+			}
+			ac.seen[w] = ac.epoch
+			if g.Stage(w) == target {
+				count++
+			}
+			ac.queue = append(ac.queue, w)
+		}
+	}
+	return count
+}
+
+// CountBackward is CountForward on reversed switches, used for the mirror
+// half (Corollary 2): how many targetStage vertices can reach dst.
+func (ac *AccessChecker) CountBackward(dst int32, targetStage int, m Masks) int {
+	g := ac.nw.G
+	target := int32(targetStage)
+	ac.bump()
+	ac.seen[dst] = ac.epoch
+	ac.queue = ac.queue[:0]
+	ac.queue = append(ac.queue, dst)
+	count := 0
+	if g.Stage(dst) == target {
+		count++
+	}
+	for head := 0; head < len(ac.queue); head++ {
+		v := ac.queue[head]
+		if g.Stage(v) <= target {
+			continue
+		}
+		for _, e := range g.InEdges(v) {
+			if !m.edgeAllowed(e) {
+				continue
+			}
+			w := g.EdgeFrom(e)
+			if ac.seen[w] == ac.epoch || !m.vertexAllowed(w) {
+				continue
+			}
+			ac.seen[w] = ac.epoch
+			if g.Stage(w) == target {
+				count++
+			}
+			ac.queue = append(ac.queue, w)
+		}
+	}
+	return count
+}
+
+// GridAccessCount implements Lemma 3's measurement: the number of rows of
+// the input's directed grid Φ_i, at the grid's last stage (stage ν), that
+// the input can reach through allowed vertices. Since grids are disjoint
+// before stage ν, a plain forward count to stage ν is exactly this.
+func (ac *AccessChecker) GridAccessCount(inputIdx int, m Masks) int {
+	in := ac.nw.Inputs()[inputIdx]
+	return ac.CountForward(in, ac.nw.P.Nu, m)
+}
+
+// MajorityReport aggregates a Lemma-6 check over all terminals.
+type MajorityReport struct {
+	// MiddleSize is the number of vertices on stage 2ν; majority means
+	// strictly more than MiddleSize/2.
+	MiddleSize int
+	// InputAccess[i] is the number of middle-stage vertices input i
+	// reaches; OutputAccess[j] likewise backwards from output j. Busy
+	// terminals are recorded as -1 (exempt).
+	InputAccess  []int
+	OutputAccess []int
+	// OK reports whether every idle terminal has strict-majority access on
+	// its side — the paper's majority-access property for 𝒩 and its
+	// mirror, which together imply the repaired network contains a
+	// strictly nonblocking n-network (§6, observation after Lemma 6).
+	OK bool
+}
+
+// MajorityAccess runs the Lemma-6 / Corollary-2 check for every idle input
+// and output under the given masks.
+func (nw *Network) MajorityAccess(ac *AccessChecker, m Masks) MajorityReport {
+	mid := nw.MiddleStage
+	rep := MajorityReport{
+		MiddleSize:   int(nw.StageSize[mid]),
+		InputAccess:  make([]int, len(nw.Inputs())),
+		OutputAccess: make([]int, len(nw.Outputs())),
+		OK:           true,
+	}
+	need := rep.MiddleSize/2 + 1
+	for i, in := range nw.Inputs() {
+		if m.Busy != nil && m.Busy[in] {
+			rep.InputAccess[i] = -1
+			continue
+		}
+		c := ac.CountForward(in, mid, m)
+		rep.InputAccess[i] = c
+		if c < need {
+			rep.OK = false
+		}
+	}
+	for j, out := range nw.Outputs() {
+		if m.Busy != nil && m.Busy[out] {
+			rep.OutputAccess[j] = -1
+			continue
+		}
+		c := ac.CountBackward(out, mid, m)
+		rep.OutputAccess[j] = c
+		if c < need {
+			rep.OK = false
+		}
+	}
+	return rep
+}

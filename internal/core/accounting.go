@@ -1,0 +1,95 @@
+package core
+
+import "math"
+
+// Acct holds closed-form size and depth accounting for Network 𝒩.
+type Acct struct {
+	Vertices int
+	Edges    int // the paper's "size"
+	Depth    int // the paper's "depth" (switches on the longest path)
+
+	TerminalEdges int // input + output switches: 2·n·L
+	GridEdges     int // Φ and Ψ combined: 4·n·L·(ν−1) (cyclic grids)
+	CoreEdges     int // 𝓜: 2ν·4·DQ·n·L
+}
+
+// Accounting returns the exact switch counts Build will materialize, in
+// closed form:
+//
+//	vertices = 2n + (4ν−1)·n·L
+//	edges    = n·L·(2 + 4(ν−1) + 8·q·ν), q = QuarterDegree()
+//	depth    = 4ν
+//
+// where n = 4^ν and L = M·4^γ.
+func Accounting(p Params) Acct {
+	n := p.N()
+	L := p.L()
+	nu := p.Nu
+	nL := n * L
+	a := Acct{
+		TerminalEdges: 2 * nL,
+		GridEdges:     4 * nL * (nu - 1),
+		CoreEdges:     2 * nu * Branching * p.QuarterDegree() * nL,
+		Vertices:      2*n + (4*nu-1)*nL,
+		Depth:         4 * nu,
+	}
+	a.Edges = a.TerminalEdges + a.GridEdges + a.CoreEdges
+	return a
+}
+
+// PaperAcct reports the size of the paper-constant construction
+// analytically, without materializing it.
+type PaperAcct struct {
+	Nu    int
+	N     int // 4^ν terminals
+	Gamma int // ⌈log₄(34ν)⌉
+	L     int // 64·4^γ grid rows
+
+	// EdgesFaithful is the switch count of the construction as described
+	// (M=64, degree 10, cyclic ν-stage grids): (1536ν−128)·4^(ν+γ).
+	EdgesFaithful int
+	// EdgesClaimed is the count the paper states: 1408ν·4^(ν+γ). The gap
+	// is a factor-2 slip in the paper's grid-edge term (its figure implies
+	// in/out degree 2 per grid vertex, i.e. 2L switches per transition,
+	// but the total 1408ν charges only L per transition).
+	EdgesClaimed int
+	// Theorem2Bound is the bound stated in Theorem 2: 49·n·(log₄n)².
+	// Note it does not dominate either count above — the theorem's
+	// constant is inconsistent with the construction's own accounting
+	// (1408·136 ≫ 49); we report all three and compare shapes, not
+	// constants, in EXPERIMENTS.md.
+	Theorem2Bound int
+	// DepthFaithful is 4ν; Theorem2DepthBound is the stated 5·log₄n.
+	DepthFaithful      int
+	Theorem2DepthBound int
+}
+
+// PaperAccounting computes PaperAcct for n = 4^nu.
+func PaperAccounting(nu int) PaperAcct {
+	gamma := PaperGamma(nu)
+	n := pow4(nu)
+	scale := pow4(nu + gamma)
+	return PaperAcct{
+		Nu:                 nu,
+		N:                  n,
+		Gamma:              gamma,
+		L:                  64 * pow4(gamma),
+		EdgesFaithful:      (1536*nu - 128) * scale,
+		EdgesClaimed:       1408 * nu * scale,
+		Theorem2Bound:      49 * n * nu * nu,
+		DepthFaithful:      4 * nu,
+		Theorem2DepthBound: 5 * nu,
+	}
+}
+
+// LowerBoundSize is Theorem 1's size lower bound for a (1/4,1/2)-n-
+// superconcentrator: (1/2688)·n·(log₂ n)².
+func LowerBoundSize(n int) float64 {
+	lg := math.Log2(float64(n))
+	return float64(n) * lg * lg / 2688
+}
+
+// LowerBoundDepth is Theorem 1's depth lower bound: (1/6)·log₂ n.
+func LowerBoundDepth(n int) float64 {
+	return math.Log2(float64(n)) / 6
+}

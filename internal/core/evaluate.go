@@ -1,0 +1,145 @@
+package core
+
+import (
+	"ftcsn/internal/fault"
+	"ftcsn/internal/rng"
+	"ftcsn/internal/route"
+)
+
+// TrialOutcome is the result of one end-to-end Theorem-2 trial on a
+// materialized Network 𝒩: inject faults, apply the discard repair, check
+// the paper's failure witnesses and the majority-access certificate, then
+// exercise the repaired network with greedy routing churn.
+type TrialOutcome struct {
+	FailedSwitches int
+	OpenSwitches   int
+	ClosedSwitches int
+
+	// Shorted: two terminals contracted through closed switches (Lemma 7's
+	// event — if it occurs the instance cannot contain a nonblocking
+	// n-network with n distinct terminals).
+	Shorted bool
+	// MajorityAccess: the Lemma-6 certificate on the repaired network; it
+	// is sufficient for the repaired network to be strictly nonblocking.
+	MajorityAccess bool
+	// MinInputAccess / MinOutputAccess are the worst terminal access
+	// counts toward the middle stage (diagnostic for Lemma 3/6 margins).
+	MinInputAccess  int
+	MinOutputAccess int
+
+	// Churn statistics: every connect on a strictly nonblocking network
+	// must succeed, so ChurnFailures > 0 falsifies nonblockingness
+	// operationally.
+	ChurnConnects  int
+	ChurnFailures  int
+	ChurnPathTotal int // summed path lengths (switch counts) of successes
+
+	// Success is the overall Theorem-2 event: no terminals shorted, the
+	// majority-access certificate holds, and churn never blocked.
+	Success bool
+}
+
+// AvgPathLen returns the mean established-path length in switches.
+func (t TrialOutcome) AvgPathLen() float64 {
+	if t.ChurnConnects == 0 {
+		return 0
+	}
+	ok := t.ChurnConnects - t.ChurnFailures
+	if ok == 0 {
+		return 0
+	}
+	return float64(t.ChurnPathTotal) / float64(ok)
+}
+
+// Evaluate runs one trial: draw switch states from model m with the given
+// seed, repair, verify, and run churnOps random connect/disconnect
+// operations. churnOps = 0 skips the routing phase.
+func (nw *Network) Evaluate(m fault.Model, seed uint64, churnOps int) TrialOutcome {
+	r := rng.New(seed)
+	inst := fault.Inject(nw.G, m, r)
+	return nw.EvaluateInstance(inst, churnOps, r)
+}
+
+// EvaluateInstance is Evaluate for a pre-drawn fault instance; churn
+// randomness comes from r.
+func (nw *Network) EvaluateInstance(inst *fault.Instance, churnOps int, r *rng.RNG) TrialOutcome {
+	out := TrialOutcome{
+		FailedSwitches: inst.NumFailed(),
+		OpenSwitches:   inst.NumOpen(),
+		ClosedSwitches: inst.NumClosed(),
+	}
+	if a, _ := inst.ShortedTerminals(); a >= 0 {
+		out.Shorted = true
+	}
+	masks := RepairMasks(inst)
+	ac := NewAccessChecker(nw)
+	rep := nw.MajorityAccess(ac, masks)
+	out.MajorityAccess = rep.OK
+	out.MinInputAccess = minOf(rep.InputAccess)
+	out.MinOutputAccess = minOf(rep.OutputAccess)
+
+	if churnOps > 0 {
+		rt := route.NewRepairedRouter(inst)
+		out.ChurnConnects, out.ChurnFailures, out.ChurnPathTotal = Churn(rt, nw.Inputs(), nw.Outputs(), churnOps, r)
+	}
+	out.Success = !out.Shorted && out.MajorityAccess && out.ChurnFailures == 0
+	return out
+}
+
+func minOf(xs []int) int {
+	m := -1
+	for _, x := range xs {
+		if x < 0 {
+			continue // busy terminal, exempt
+		}
+		if m < 0 || x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Churn drives a router with ops random operations: with probability 1/2
+// (or always, when no circuit exists; never, when all terminals are busy)
+// it connects a uniformly chosen idle input to a uniformly chosen idle
+// output, otherwise it disconnects a uniformly chosen existing circuit.
+// It returns the number of attempted connects, failed connects, and the
+// summed path length of successful connects. This is the operational
+// strictly-nonblocking test: on a strictly nonblocking network failures
+// must be zero regardless of the request sequence.
+func Churn(rt *route.Router, inputs, outputs []int32, ops int, r *rng.RNG) (connects, failures, pathTotal int) {
+	type circuit struct{ in, out int32 }
+	var live []circuit
+	idleIn := append([]int32(nil), inputs...)
+	idleOut := append([]int32(nil), outputs...)
+	for op := 0; op < ops; op++ {
+		doConnect := len(live) == 0 || (len(idleIn) > 0 && r.Bernoulli(0.5))
+		if doConnect && len(idleIn) > 0 && len(idleOut) > 0 {
+			ii := r.Intn(len(idleIn))
+			oo := r.Intn(len(idleOut))
+			in, outT := idleIn[ii], idleOut[oo]
+			connects++
+			path, err := rt.Connect(in, outT)
+			if err != nil {
+				failures++
+				continue
+			}
+			pathTotal += len(path) - 1
+			idleIn[ii] = idleIn[len(idleIn)-1]
+			idleIn = idleIn[:len(idleIn)-1]
+			idleOut[oo] = idleOut[len(idleOut)-1]
+			idleOut = idleOut[:len(idleOut)-1]
+			live = append(live, circuit{in, outT})
+		} else if len(live) > 0 {
+			ci := r.Intn(len(live))
+			c := live[ci]
+			if err := rt.Disconnect(c.in, c.out); err == nil {
+				idleIn = append(idleIn, c.in)
+				idleOut = append(idleOut, c.out)
+			}
+			live[ci] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	return connects, failures, pathTotal
+}

@@ -1,0 +1,84 @@
+// Package experiments defines the reproduction experiments E1–E10 that
+// regenerate every quantitative artifact of Pippenger & Lin: Proposition 1
+// (Moore–Shannon amplifiers), Lemma 1/Figs 1–3 (tree path extraction),
+// Lemma 3/Fig 4 (directed-grid access), Lemmas 4–5 (expander fault tails),
+// Lemma 6 (majority access), Lemma 7 (terminal shorting), Theorem 2 (the
+// upper-bound pipeline and size/depth accounting), Theorem 1 (the lower
+// bound and the baseline crossover), the §4 greedy-routing claim, and the
+// design ablations called out in DESIGN.md.
+//
+// Each experiment returns Markdown tables; cmd/ftbench renders them (the
+// source of EXPERIMENTS.md) and bench_test.go wraps them as benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ftcsn/internal/stats"
+)
+
+// Mode selects experiment scale.
+type Mode int
+
+// Experiment scales: Quick for CI-sized runs, Full for report-quality
+// statistics.
+const (
+	Quick Mode = iota
+	Full
+)
+
+// trials returns q in Quick mode, f in Full mode.
+func (m Mode) trials(q, f int) int {
+	if m == Full {
+		return f
+	}
+	return q
+}
+
+// Result is the output of one experiment.
+type Result struct {
+	ID     string
+	Title  string
+	Paper  string // what the paper reports (the claim under test)
+	Notes  []string
+	Tables []*stats.Table
+}
+
+// Render writes the result as Markdown.
+func (r Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "## %s — %s\n\n", r.ID, r.Title)
+	fmt.Fprintf(w, "**Paper claim:** %s\n\n", r.Paper)
+	for _, t := range r.Tables {
+		fmt.Fprintln(w, t.String())
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "- %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Registry lists every experiment in report order.
+func Registry() []struct {
+	ID  string
+	Run func(Mode) Result
+} {
+	return []struct {
+		ID  string
+		Run func(Mode) Result
+	}{
+		{"E1", E1MooreShannon},
+		{"E2", E2TreePaths},
+		{"E3", E3GridAccess},
+		{"E4", E4ExpanderFaultTails},
+		{"E5", E5MajorityAccess},
+		{"E6", E6TerminalShorting},
+		{"E7", E7Theorem2},
+		{"E8", E8LowerBoundCrossover},
+		{"E9", E9Routing},
+		{"E10", E10Ablations},
+		{"E11", E11Substitution},
+		{"E12", E12Hierarchy},
+		{"E13", E13DepthSizeFrontier},
+	}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunQuick executes every registered experiment in Quick
+// mode and sanity-checks the rendered output. This is the integration test
+// of the whole reproduction pipeline.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res := e.Run(Quick)
+			if res.ID != e.ID {
+				t.Fatalf("result ID %q, want %q", res.ID, e.ID)
+			}
+			if res.Title == "" || res.Paper == "" {
+				t.Fatal("missing title or paper claim")
+			}
+			if len(res.Tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			var b strings.Builder
+			res.Render(&b)
+			out := b.String()
+			if !strings.Contains(out, res.ID) || !strings.Contains(out, "|") {
+				t.Fatalf("render malformed:\n%s", out)
+			}
+			for _, note := range res.Notes {
+				if strings.Contains(note, "INVALID") {
+					t.Fatalf("experiment reported invalid data: %s", note)
+				}
+			}
+		})
+	}
+}
+
+func TestRegistryOrder(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 13 {
+		t.Fatalf("registry has %d experiments", len(reg))
+	}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
+	for i, e := range reg {
+		if e.ID != want[i] {
+			t.Fatalf("registry[%d] = %s, want %s", i, e.ID, want[i])
+		}
+	}
+}
+
+func TestModeTrials(t *testing.T) {
+	if Quick.trials(5, 50) != 5 || Full.trials(5, 50) != 50 {
+		t.Fatal("mode trial selection wrong")
+	}
+}
+
+// Targeted shape assertions on the headline experiments.
+
+func TestE7AccountingShape(t *testing.T) {
+	res := E7Theorem2(Quick)
+	// First table must have 8 rows (ν = 1..8).
+	out := res.Tables[0].String()
+	rows := strings.Count(out, "\n") - 2 // header + separator
+	if rows != 8 {
+		t.Fatalf("accounting rows = %d", rows)
+	}
+}
+
+func TestE8CrossoverDirection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res := E8LowerBoundCrossover(Quick)
+	out := res.Tables[0].String()
+	// The table must contain both baseline and network-N rows.
+	if !strings.Contains(out, "benes") || !strings.Contains(out, "network-N") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+}

@@ -1,0 +1,327 @@
+// Package fault implements the random switch failure model of
+// Pippenger & Lin.
+//
+// Every switch (edge) of a network is independently in one of three states:
+//
+//   - open failure (probability ε₁): the switch is permanently off — the
+//     edge ceases to exist;
+//   - closed failure (probability ε₂): the switch is permanently on — the
+//     two endpoint links contract into a single electrical node;
+//   - normal (probability 1−ε₁−ε₂): the switch works.
+//
+// The package provides fault injection (with geometric skipping so that the
+// common small-ε regime costs O(#failures), not O(#switches)), the paper's
+// failure witnesses — terminal shorting through chains of closed switches
+// (Lemma 7) and input/output isolation through open switches (Lemma 2,
+// Theorem 1) — and the paper's repair rule: discard every faulty non-terminal
+// vertex, i.e. both endpoints of every failed switch (§4: "we can find a
+// nonblocking network contained in the fault-tolerant network merely by
+// discarding faulty components and their immediate neighbors").
+package fault
+
+import (
+	"fmt"
+
+	"ftcsn/internal/graph"
+	"ftcsn/internal/rng"
+	"ftcsn/internal/unionfind"
+)
+
+// State is the condition of a single switch.
+type State uint8
+
+// Switch states. Normal is the zero value so a freshly allocated state
+// vector describes a fault-free network.
+const (
+	Normal State = iota
+	Open
+	Closed
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Normal:
+		return "normal"
+	case Open:
+		return "open"
+	case Closed:
+		return "closed"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Model holds the two failure probabilities. The paper assumes ε₁ = ε₂ = ε
+// "for simplicity of notation"; we keep them separate and provide Symmetric
+// for the paper's case.
+type Model struct {
+	OpenProb   float64 // ε₁, probability of open failure per switch
+	ClosedProb float64 // ε₂, probability of closed failure per switch
+}
+
+// Symmetric returns the paper's symmetric model with ε₁ = ε₂ = ε.
+func Symmetric(eps float64) Model { return Model{OpenProb: eps, ClosedProb: eps} }
+
+// Validate checks 0 ≤ ε₁, ε₂ and ε₁+ε₂ ≤ 1.
+func (m Model) Validate() error {
+	if m.OpenProb < 0 || m.ClosedProb < 0 || m.OpenProb+m.ClosedProb > 1 {
+		return fmt.Errorf("fault: invalid model ε₁=%v ε₂=%v", m.OpenProb, m.ClosedProb)
+	}
+	return nil
+}
+
+// Instance is one random realization of switch states for a graph.
+// The graph itself is immutable and shared; the Instance owns only the
+// per-edge state vector, so instances are cheap to reuse across Monte-Carlo
+// trials via Reinject.
+type Instance struct {
+	G      *graph.Graph
+	Edge   []State // indexed by edge ID
+	opens  int
+	closes int
+}
+
+// NewInstance returns a fault-free instance for g.
+func NewInstance(g *graph.Graph) *Instance {
+	return &Instance{G: g, Edge: make([]State, g.NumEdges())}
+}
+
+// Inject draws a fresh instance for g under model m using r.
+func Inject(g *graph.Graph, m Model, r *rng.RNG) *Instance {
+	inst := NewInstance(g)
+	inst.Reinject(m, r)
+	return inst
+}
+
+// Reinject redraws all switch states in place. When ε₁+ε₂ is small it skips
+// healthy runs geometrically, visiting only failed switches.
+func (inst *Instance) Reinject(m Model, r *rng.RNG) {
+	for i := range inst.Edge {
+		inst.Edge[i] = Normal
+	}
+	inst.opens, inst.closes = 0, 0
+	p := m.OpenProb + m.ClosedProb
+	if p <= 0 {
+		return
+	}
+	mEdges := len(inst.Edge)
+	if p >= 0.5 {
+		// Dense regime: draw per edge directly.
+		for i := range inst.Edge {
+			u := r.Float64()
+			switch {
+			case u < m.OpenProb:
+				inst.Edge[i] = Open
+				inst.opens++
+			case u < p:
+				inst.Edge[i] = Closed
+				inst.closes++
+			}
+		}
+		return
+	}
+	pos := r.Geometric(p)
+	for pos < mEdges {
+		if r.Float64()*p < m.OpenProb {
+			inst.Edge[pos] = Open
+			inst.opens++
+		} else {
+			inst.Edge[pos] = Closed
+			inst.closes++
+		}
+		pos += 1 + r.Geometric(p)
+	}
+}
+
+// NumOpen returns the number of open-failed switches.
+func (inst *Instance) NumOpen() int { return inst.opens }
+
+// NumClosed returns the number of closed-failed switches.
+func (inst *Instance) NumClosed() int { return inst.closes }
+
+// NumFailed returns the total number of failed switches.
+func (inst *Instance) NumFailed() int { return inst.opens + inst.closes }
+
+// SetState overrides the state of edge e (for deterministic tests and
+// adversarial fault placement).
+func (inst *Instance) SetState(e int32, s State) {
+	old := inst.Edge[e]
+	if old == s {
+		return
+	}
+	switch old {
+	case Open:
+		inst.opens--
+	case Closed:
+		inst.closes--
+	}
+	switch s {
+	case Open:
+		inst.opens++
+	case Closed:
+		inst.closes++
+	}
+	inst.Edge[e] = s
+}
+
+// FaultyVertices returns the mask of vertices incident to at least one
+// failed switch. Terminals are included in the mask if they qualify; the
+// repair rule (see Repair) is what exempts terminals from being discarded.
+func (inst *Instance) FaultyVertices() []bool {
+	faulty := make([]bool, inst.G.NumVertices())
+	for e, s := range inst.Edge {
+		if s != Normal {
+			faulty[inst.G.EdgeFrom(int32(e))] = true
+			faulty[inst.G.EdgeTo(int32(e))] = true
+		}
+	}
+	return faulty
+}
+
+// Repair applies the paper's discard rule and returns the usable-vertex
+// mask: every non-terminal vertex incident to a failed switch is discarded
+// (treated as permanently busy); terminals are never discarded. Routing on
+// the repaired network must additionally traverse only Normal switches —
+// RepairedEdgeUsable captures both conditions.
+func (inst *Instance) Repair() []bool {
+	usable := make([]bool, inst.G.NumVertices())
+	for i := range usable {
+		usable[i] = true
+	}
+	for e, s := range inst.Edge {
+		if s == Normal {
+			continue
+		}
+		u := inst.G.EdgeFrom(int32(e))
+		v := inst.G.EdgeTo(int32(e))
+		if !inst.G.IsTerminal(u) {
+			usable[u] = false
+		}
+		if !inst.G.IsTerminal(v) {
+			usable[v] = false
+		}
+	}
+	return usable
+}
+
+// RepairedEdgeUsable reports whether edge e is traversable on the repaired
+// network given the usable mask returned by Repair: the switch must be
+// normal and both endpoints usable.
+func (inst *Instance) RepairedEdgeUsable(usable []bool, e int32) bool {
+	return inst.Edge[e] == Normal && usable[inst.G.EdgeFrom(e)] && usable[inst.G.EdgeTo(e)]
+}
+
+// ShortedTerminals detects Lemma 7's failure event: it returns a pair of
+// distinct terminals that are contracted into a single electrical node by a
+// chain of closed switches, or (-1, -1) if no such pair exists.
+func (inst *Instance) ShortedTerminals() (a, b int32) {
+	d := unionfind.New(inst.G.NumVertices())
+	for e, s := range inst.Edge {
+		if s == Closed {
+			d.Union(int(inst.G.EdgeFrom(int32(e))), int(inst.G.EdgeTo(int32(e))))
+		}
+	}
+	owner := make(map[int]int32)
+	check := func(terms []int32) (int32, int32) {
+		for _, t := range terms {
+			root := d.Find(int(t))
+			if prev, ok := owner[root]; ok {
+				return prev, t
+			}
+			owner[root] = t
+		}
+		return -1, -1
+	}
+	if x, y := check(inst.G.Inputs()); x >= 0 {
+		return x, y
+	}
+	if x, y := check(inst.G.Outputs()); x >= 0 {
+		return x, y
+	}
+	return -1, -1
+}
+
+// reachScratch holds reusable BFS buffers for connectivity checks.
+type reachScratch struct {
+	seen  []bool
+	queue []int32
+}
+
+func newScratch(n int) *reachScratch {
+	return &reachScratch{seen: make([]bool, n), queue: make([]int32, 0, 256)}
+}
+
+func (sc *reachScratch) reset() {
+	for i := range sc.seen {
+		sc.seen[i] = false
+	}
+	sc.queue = sc.queue[:0]
+}
+
+// conductiveReach marks in sc.seen every vertex reachable from src in the
+// contracted graph: normal switches are traversed in their direction and
+// closed switches in both directions (a closed switch merges its endpoints
+// into one node, so it conducts both ways). Open switches are gone.
+func (inst *Instance) conductiveReach(src int32, sc *reachScratch) {
+	sc.reset()
+	sc.seen[src] = true
+	sc.queue = append(sc.queue, src)
+	g := inst.G
+	for len(sc.queue) > 0 {
+		v := sc.queue[len(sc.queue)-1]
+		sc.queue = sc.queue[:len(sc.queue)-1]
+		for _, e := range g.OutEdges(v) {
+			if inst.Edge[e] == Open {
+				continue
+			}
+			if w := g.EdgeTo(e); !sc.seen[w] {
+				sc.seen[w] = true
+				sc.queue = append(sc.queue, w)
+			}
+		}
+		for _, e := range g.InEdges(v) {
+			if inst.Edge[e] != Closed {
+				continue
+			}
+			if w := g.EdgeFrom(e); !sc.seen[w] {
+				sc.seen[w] = true
+				sc.queue = append(sc.queue, w)
+			}
+		}
+	}
+}
+
+// IsolatedPair detects the open-failure witness used throughout Section 5:
+// it returns an (input, output) pair such that no path of conducting
+// switches joins them, or (-1, -1) if every input reaches every output.
+// Reaching every output from every input is the r=1 requirement of an
+// n-superconcentrator, hence a necessary condition for all three network
+// classes of the paper.
+func (inst *Instance) IsolatedPair() (in, out int32) {
+	sc := newScratch(inst.G.NumVertices())
+	for _, src := range inst.G.Inputs() {
+		inst.conductiveReach(src, sc)
+		for _, dst := range inst.G.Outputs() {
+			if !sc.seen[dst] {
+				return src, dst
+			}
+		}
+	}
+	return -1, -1
+}
+
+// SurvivesBasicChecks reports whether the instance passes both necessary
+// conditions for containing a working network: no two terminals shorted and
+// no input/output pair isolated. This is the cheap necessary test used for
+// baseline networks in experiment E8; the full sufficient verification for
+// Network 𝒩 lives in package core.
+func (inst *Instance) SurvivesBasicChecks() bool {
+	if a, _ := inst.ShortedTerminals(); a >= 0 {
+		return false
+	}
+	if a, _ := inst.IsolatedPair(); a >= 0 {
+		return false
+	}
+	return true
+}

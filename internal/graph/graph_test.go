@@ -1,0 +1,278 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ftcsn/internal/rng"
+)
+
+// diamond builds the 4-vertex diamond: in -> a,b -> out.
+func diamond() *Graph {
+	b := NewBuilder(4, 4)
+	in := b.AddVertex(0)
+	a := b.AddVertex(1)
+	c := b.AddVertex(1)
+	out := b.AddVertex(2)
+	b.AddEdge(in, a)
+	b.AddEdge(in, c)
+	b.AddEdge(a, out)
+	b.AddEdge(c, out)
+	b.MarkInput(in)
+	b.MarkOutput(out)
+	return b.Freeze()
+}
+
+func TestBuilderFreezeBasics(t *testing.T) {
+	g := diamond()
+	if g.NumVertices() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.OutDegree(0) != 2 || g.InDegree(3) != 2 {
+		t.Fatalf("degrees wrong: out(0)=%d in(3)=%d", g.OutDegree(0), g.InDegree(3))
+	}
+	if !g.IsTerminal(0) || !g.IsTerminal(3) || g.IsTerminal(1) {
+		t.Fatal("terminal marking wrong")
+	}
+}
+
+func TestCSRConsistency(t *testing.T) {
+	g := diamond()
+	// Every edge e in OutEdges(v) must satisfy EdgeFrom(e) == v, and
+	// symmetrically for InEdges.
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		for _, e := range g.OutEdges(v) {
+			if g.EdgeFrom(e) != v {
+				t.Fatalf("edge %d in OutEdges(%d) but EdgeFrom=%d", e, v, g.EdgeFrom(e))
+			}
+		}
+		for _, e := range g.InEdges(v) {
+			if g.EdgeTo(e) != v {
+				t.Fatalf("edge %d in InEdges(%d) but EdgeTo=%d", e, v, g.EdgeTo(e))
+			}
+		}
+	}
+}
+
+func TestDepth(t *testing.T) {
+	g := diamond()
+	d, err := g.Depth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2 {
+		t.Fatalf("depth = %d, want 2", d)
+	}
+}
+
+func TestDepthLongestPath(t *testing.T) {
+	// in -> a -> out and in -> out directly: depth must be 2, not 1.
+	b := NewBuilder(3, 3)
+	in := b.AddVertex(NoStage)
+	a := b.AddVertex(NoStage)
+	out := b.AddVertex(NoStage)
+	b.AddEdge(in, a)
+	b.AddEdge(a, out)
+	b.AddEdge(in, out)
+	b.MarkInput(in)
+	b.MarkOutput(out)
+	g := b.Freeze()
+	d, err := g.Depth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2 {
+		t.Fatalf("depth = %d, want 2", d)
+	}
+}
+
+func TestTopoOrderDetectsCycle(t *testing.T) {
+	b := NewBuilder(2, 2)
+	u := b.AddVertex(NoStage)
+	v := b.AddVertex(NoStage)
+	b.AddEdge(u, v)
+	b.AddEdge(v, u)
+	g := b.Freeze()
+	if _, err := g.TopoOrder(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	if _, err := g.Depth(); err == nil {
+		t.Fatal("Depth on cyclic graph did not error")
+	}
+}
+
+func TestMirror(t *testing.T) {
+	g := diamond()
+	m := g.Mirror()
+	if m.NumEdges() != g.NumEdges() || m.NumVertices() != g.NumVertices() {
+		t.Fatal("mirror changed counts")
+	}
+	// Edge IDs preserved with reversed endpoints.
+	for e := int32(0); e < int32(g.NumEdges()); e++ {
+		if m.EdgeFrom(e) != g.EdgeTo(e) || m.EdgeTo(e) != g.EdgeFrom(e) {
+			t.Fatalf("edge %d not reversed", e)
+		}
+	}
+	// Terminals swapped.
+	if m.Inputs()[0] != g.Outputs()[0] || m.Outputs()[0] != g.Inputs()[0] {
+		t.Fatal("mirror did not swap terminals")
+	}
+	// Stages reversed: input (stage 0) becomes stage 2.
+	if m.Stage(g.Inputs()[0]) != 2 {
+		t.Fatalf("mirror stage = %d", m.Stage(g.Inputs()[0]))
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMirrorInvolution(t *testing.T) {
+	g := diamond()
+	mm := g.Mirror().Mirror()
+	for e := int32(0); e < int32(g.NumEdges()); e++ {
+		if mm.EdgeFrom(e) != g.EdgeFrom(e) || mm.EdgeTo(e) != g.EdgeTo(e) {
+			t.Fatal("double mirror is not identity on edges")
+		}
+	}
+}
+
+func TestUndirectedDistances(t *testing.T) {
+	g := diamond()
+	d := g.UndirectedDistances(0)
+	want := []int32{0, 1, 1, 2}
+	for i, w := range want {
+		if d[i] != w {
+			t.Fatalf("dist[%d] = %d, want %d", i, d[i], w)
+		}
+	}
+}
+
+func TestUndirectedDistancesIgnoreDirection(t *testing.T) {
+	// a -> b <- c: undirected distance a..c is 2 even though no directed path.
+	b := NewBuilder(3, 2)
+	va := b.AddVertex(NoStage)
+	vb := b.AddVertex(NoStage)
+	vc := b.AddVertex(NoStage)
+	b.AddEdge(va, vb)
+	b.AddEdge(vc, vb)
+	g := b.Freeze()
+	d := g.UndirectedDistances(va)
+	if d[vc] != 2 {
+		t.Fatalf("dist(a,c) = %d, want 2", d[vc])
+	}
+}
+
+func TestReachableFromWithMask(t *testing.T) {
+	g := diamond()
+	// Block vertex 1 (a): out still reachable through 2 (b).
+	seen := g.ReachableFrom(0, func(v int32) bool { return v != 1 })
+	if !seen[3] {
+		t.Fatal("out unreachable with one middle vertex blocked")
+	}
+	if seen[1] {
+		t.Fatal("blocked vertex visited")
+	}
+	// Block both middles: out unreachable.
+	seen = g.ReachableFrom(0, func(v int32) bool { return v != 1 && v != 2 })
+	if seen[3] {
+		t.Fatal("out reachable with both middles blocked")
+	}
+}
+
+func TestValidateRejectsBadTerminals(t *testing.T) {
+	b := NewBuilder(2, 1)
+	u := b.AddVertex(NoStage)
+	v := b.AddVertex(NoStage)
+	b.AddEdge(u, v)
+	b.MarkInput(v) // v has in-degree 1: invalid input
+	b.MarkOutput(u)
+	g := b.Freeze()
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted input with incoming edge")
+	}
+}
+
+func TestValidateRejectsOverlap(t *testing.T) {
+	b := NewBuilder(1, 0)
+	v := b.AddVertex(NoStage)
+	b.MarkInput(v)
+	b.MarkOutput(v)
+	g := b.Freeze()
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted input==output")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	out := diamond().DOT("d")
+	if !strings.Contains(out, "digraph d") || !strings.Contains(out, "v0 -> v1") {
+		t.Fatalf("DOT output malformed: %q", out)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	s := ComputeStats(diamond())
+	if s.Edges != 4 || s.Depth != 2 || s.MaxDegree != 2 || s.Inputs != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if !strings.Contains(s.String(), "E=4") {
+		t.Fatalf("stats string = %q", s.String())
+	}
+}
+
+// Property test: on random DAGs (edges always from lower to higher ID),
+// TopoOrder succeeds and respects all edges, and Depth is bounded by the
+// vertex count.
+func TestQuickRandomDAG(t *testing.T) {
+	r := rng.New(1234)
+	f := func(seed uint32) bool {
+		rr := r.Split(uint64(seed))
+		n := 2 + rr.Intn(40)
+		b := NewBuilder(n, n*2)
+		for i := 0; i < n; i++ {
+			b.AddVertex(NoStage)
+		}
+		m := rr.Intn(3 * n)
+		for i := 0; i < m; i++ {
+			u := rr.Intn(n - 1)
+			v := u + 1 + rr.Intn(n-u-1)
+			b.AddEdge(int32(u), int32(v))
+		}
+		b.MarkInput(0)
+		b.MarkOutput(int32(n - 1))
+		g := b.Freeze()
+		order, err := g.TopoOrder()
+		if err != nil {
+			return false
+		}
+		pos := make([]int, n)
+		for i, v := range order {
+			pos[v] = i
+		}
+		for e := int32(0); e < int32(g.NumEdges()); e++ {
+			if pos[g.EdgeFrom(e)] >= pos[g.EdgeTo(e)] {
+				return false
+			}
+		}
+		d, err := g.Depth()
+		return err == nil && d >= 0 && d < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddEdgeOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdge out of range did not panic")
+		}
+	}()
+	b := NewBuilder(1, 1)
+	b.AddVertex(NoStage)
+	b.AddEdge(0, 5)
+}

@@ -1,0 +1,170 @@
+// Package lowerbound implements the Section 5 machinery behind Theorem 1
+// of Pippenger & Lin: every (1/4, 1/2)-n-superconcentrator has size at
+// least (1/2688)·n·(log₂n)² and depth at least (1/6)·log₂n.
+//
+// The proof associates with each input a neighborhood of logarithmic
+// radius. Lemma 2 shows that for at least n/2 "good" inputs these
+// neighborhoods are pairwise far apart (otherwise many short input-input
+// paths exist, and closed failures short two inputs together with
+// probability > 1/2 — built from Lemma 1's edge-disjoint path extraction).
+// Partitioning each good input's neighborhood into distance zones
+// B_h(v), every zone must hold Ω(log n) switches, else open failures cut
+// the input off from some output with probability > 1/2. Summing zones
+// and good inputs gives the Ω(n log²n) bound.
+//
+// This package computes those witnesses on concrete networks: good-input
+// sets, zone profiles, and the per-network empirical size certificate.
+// It is the analysis side of experiment E8: the paper's Network 𝒩 has
+// Θ(log n) zone sizes at every good input, while Beneš/butterfly zones
+// have O(1) switches — the structural reason they cannot be fault-tolerant.
+package lowerbound
+
+import (
+	"math"
+
+	"ftcsn/internal/graph"
+)
+
+// GoodInputs returns the inputs whose undirected distance to every other
+// input is at least minDist (Lemma 2's "good" inputs; the lemma uses
+// minDist = (1/6)·log₂n).
+func GoodInputs(g *graph.Graph, minDist int) []int32 {
+	var good []int32
+	isInput := make([]bool, g.NumVertices())
+	for _, in := range g.Inputs() {
+		isInput[in] = true
+	}
+	for _, in := range g.Inputs() {
+		dist := g.UndirectedDistances(in)
+		ok := true
+		for _, other := range g.Inputs() {
+			if other == in {
+				continue
+			}
+			if dist[other] >= 0 && int(dist[other]) < minDist {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			good = append(good, in)
+		}
+	}
+	return good
+}
+
+// MinPairwiseInputDistance returns the smallest undirected distance
+// between two distinct inputs (or -1 if inputs are mutually unreachable).
+func MinPairwiseInputDistance(g *graph.Graph) int {
+	best := -1
+	for i, in := range g.Inputs() {
+		dist := g.UndirectedDistances(in)
+		for _, other := range g.Inputs()[i+1:] {
+			if d := dist[other]; d >= 0 {
+				if best < 0 || int(d) < best {
+					best = int(d)
+				}
+			}
+		}
+	}
+	return best
+}
+
+// ZoneProfile returns |B_h(v)| for h = 1..radius: the number of switches
+// at distance exactly h from v, where the distance from a vertex to a
+// switch (u,w) is min(dist(v,u), dist(v,w)) + 1 as in the paper.
+func ZoneProfile(g *graph.Graph, v int32, radius int) []int {
+	dist := g.UndirectedDistances(v)
+	zones := make([]int, radius+1) // zones[h], zone 0 unused
+	for e := int32(0); e < int32(g.NumEdges()); e++ {
+		du := dist[g.EdgeFrom(e)]
+		dw := dist[g.EdgeTo(e)]
+		d := du
+		if dw >= 0 && (d < 0 || dw < d) {
+			d = dw
+		}
+		if d < 0 {
+			continue
+		}
+		h := int(d) + 1
+		if h <= radius {
+			zones[h]++
+		}
+	}
+	return zones
+}
+
+// MinZoneSize returns the smallest non-empty-radius zone size
+// min_{1≤h≤radius} |B_h(v)| — the paper's b, which must be Ω(log n) in a
+// fault-tolerant network.
+func MinZoneSize(g *graph.Graph, v int32, radius int) int {
+	zones := ZoneProfile(g, v, radius)
+	min := -1
+	for h := 1; h <= radius; h++ {
+		if min < 0 || zones[h] < min {
+			min = zones[h]
+		}
+	}
+	return min
+}
+
+// Certificate is the Theorem-1 analysis of one network.
+type Certificate struct {
+	N            int
+	Size         int
+	Depth        int
+	GoodInputs   int // #inputs pairwise ≥ (1/6)log₂n apart
+	MinInputDist int
+	// ZoneRadius is ⌊(1/36)·log₂n⌋ (the paper uses (1/6)·(1/6)·log₂n for
+	// the zones inside each good input's neighborhood); at experiment
+	// scales this is tiny, so we also report profiles at radius
+	// ProfileRadius = max(2, that).
+	ZoneRadius    int
+	MinZoneSizes  []int // min zone size per good input (ProfileRadius)
+	SizeLowerBnd  float64
+	DepthLowerBnd float64
+}
+
+// Analyze computes the certificate for a network.
+func Analyze(g *graph.Graph) Certificate {
+	n := len(g.Inputs())
+	lg := math.Log2(float64(n))
+	minDist := int(math.Ceil(lg / 6))
+	if minDist < 1 {
+		minDist = 1
+	}
+	zr := int(lg / 36)
+	if zr < 2 {
+		zr = 2
+	}
+	depth, err := g.Depth()
+	if err != nil {
+		depth = -1
+	}
+	good := GoodInputs(g, minDist)
+	cert := Certificate{
+		N:             n,
+		Size:          g.NumEdges(),
+		Depth:         depth,
+		GoodInputs:    len(good),
+		MinInputDist:  MinPairwiseInputDistance(g),
+		ZoneRadius:    zr,
+		SizeLowerBnd:  float64(n) * lg * lg / 2688,
+		DepthLowerBnd: lg / 6,
+	}
+	for _, v := range good {
+		cert.MinZoneSizes = append(cert.MinZoneSizes, MinZoneSize(g, v, zr))
+	}
+	return cert
+}
+
+// MinOfMinZones returns the worst min-zone size over good inputs, or -1.
+func (c Certificate) MinOfMinZones() int {
+	min := -1
+	for _, z := range c.MinZoneSizes {
+		if min < 0 || z < min {
+			min = z
+		}
+	}
+	return min
+}

@@ -1,0 +1,183 @@
+// Package maxflow implements Dinic's algorithm on unit-capacity networks
+// and the vertex-disjoint path computations built on it.
+//
+// Superconcentrators, rearrangeable networks and nonblocking networks are
+// all defined through the existence of vertex-disjoint path families; by
+// Menger's theorem these are max-flow questions after the standard vertex
+// split (v → v_in→v_out with capacity 1). Dinic on unit-capacity graphs
+// runs in O(E√V), fast enough to verify every network in this repository
+// exactly at experiment scale.
+package maxflow
+
+import "fmt"
+
+// Graph is a flow network under construction. Vertices are added
+// implicitly by AddEdge; capacities are integers.
+type Graph struct {
+	n    int
+	head []int32 // head[v] = first arc index of v, -1 terminates
+	next []int32 // next[a] = next arc of the same tail
+	to   []int32
+	cap  []int32
+}
+
+// NewGraph returns an empty flow network over n vertices.
+func NewGraph(n int) *Graph {
+	head := make([]int32, n)
+	for i := range head {
+		head[i] = -1
+	}
+	return &Graph{n: n, head: head}
+}
+
+// AddEdge adds a directed arc u→v with the given capacity and its residual
+// reverse arc, returning the arc index.
+func (g *Graph) AddEdge(u, v int32, capacity int32) int32 {
+	if u < 0 || int(u) >= g.n || v < 0 || int(v) >= g.n {
+		panic(fmt.Sprintf("maxflow: arc (%d,%d) out of range n=%d", u, v, g.n))
+	}
+	a := int32(len(g.to))
+	g.to = append(g.to, v)
+	g.cap = append(g.cap, capacity)
+	g.next = append(g.next, g.head[u])
+	g.head[u] = a
+	// residual
+	g.to = append(g.to, u)
+	g.cap = append(g.cap, 0)
+	g.next = append(g.next, g.head[v])
+	g.head[v] = a + 1
+	return a
+}
+
+// MaxFlow computes the maximum s→t flow (Dinic).
+func (g *Graph) MaxFlow(s, t int32) int {
+	if s == t {
+		return 0
+	}
+	level := make([]int32, g.n)
+	iter := make([]int32, g.n)
+	queue := make([]int32, 0, g.n)
+	total := 0
+	for {
+		// BFS level graph.
+		for i := range level {
+			level[i] = -1
+		}
+		level[s] = 0
+		queue = queue[:0]
+		queue = append(queue, s)
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for a := g.head[v]; a >= 0; a = g.next[a] {
+				if g.cap[a] > 0 && level[g.to[a]] < 0 {
+					level[g.to[a]] = level[v] + 1
+					queue = append(queue, g.to[a])
+				}
+			}
+		}
+		if level[t] < 0 {
+			return total
+		}
+		copy(iter, g.head)
+		// DFS blocking flow.
+		var dfs func(v int32, f int32) int32
+		dfs = func(v int32, f int32) int32 {
+			if v == t {
+				return f
+			}
+			for ; iter[v] >= 0; iter[v] = g.next[iter[v]] {
+				a := iter[v]
+				w := g.to[a]
+				if g.cap[a] <= 0 || level[w] != level[v]+1 {
+					continue
+				}
+				d := dfs(w, min32(f, g.cap[a]))
+				if d > 0 {
+					g.cap[a] -= d
+					g.cap[a^1] += d
+					return d
+				}
+			}
+			return 0
+		}
+		for {
+			f := dfs(s, 1<<30)
+			if f == 0 {
+				break
+			}
+			total += int(f)
+		}
+	}
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Digraph is the minimal read-only view of a directed graph that the
+// vertex-disjoint helpers need; ftcsn's graph.Graph satisfies it.
+type Digraph interface {
+	NumVertices() int
+	NumEdges() int
+	EdgeFrom(e int32) int32
+	EdgeTo(e int32) int32
+}
+
+// VertexDisjointPaths returns the maximum number of vertex-disjoint
+// directed paths from the source set to the sink set in dg (sources and
+// sinks count as vertices that may each carry one path). Standard vertex
+// split: vertex v becomes v_in=2v, v_out=2v+1 with a unit arc between.
+func VertexDisjointPaths(dg Digraph, sources, sinks []int32) int {
+	n := dg.NumVertices()
+	g := NewGraph(2*n + 2)
+	s := int32(2 * n)
+	t := int32(2*n + 1)
+	for v := int32(0); v < int32(n); v++ {
+		g.AddEdge(2*v, 2*v+1, 1)
+	}
+	for e := int32(0); e < int32(dg.NumEdges()); e++ {
+		g.AddEdge(2*dg.EdgeFrom(e)+1, 2*dg.EdgeTo(e), 1)
+	}
+	for _, v := range sources {
+		g.AddEdge(s, 2*v, 1)
+	}
+	for _, v := range sinks {
+		g.AddEdge(2*v+1, t, 1)
+	}
+	return g.MaxFlow(s, t)
+}
+
+// VertexDisjointPathsAvoiding is VertexDisjointPaths restricted to vertices
+// allowed by ok (sources/sinks must be allowed too) and edges allowed by
+// edgeOK; nil masks allow everything.
+func VertexDisjointPathsAvoiding(dg Digraph, sources, sinks []int32, ok func(int32) bool, edgeOK func(int32) bool) int {
+	n := dg.NumVertices()
+	g := NewGraph(2*n + 2)
+	s := int32(2 * n)
+	t := int32(2*n + 1)
+	for v := int32(0); v < int32(n); v++ {
+		if ok == nil || ok(v) {
+			g.AddEdge(2*v, 2*v+1, 1)
+		}
+	}
+	for e := int32(0); e < int32(dg.NumEdges()); e++ {
+		if edgeOK != nil && !edgeOK(e) {
+			continue
+		}
+		g.AddEdge(2*dg.EdgeFrom(e)+1, 2*dg.EdgeTo(e), 1)
+	}
+	for _, v := range sources {
+		if ok == nil || ok(v) {
+			g.AddEdge(s, 2*v, 1)
+		}
+	}
+	for _, v := range sinks {
+		if ok == nil || ok(v) {
+			g.AddEdge(2*v+1, t, 1)
+		}
+	}
+	return g.MaxFlow(s, t)
+}

@@ -1,0 +1,84 @@
+// Package montecarlo runs embarrassingly parallel randomized trials over a
+// pool of worker goroutines.
+//
+// Every failure probability in Pippenger & Lin (Lemmas 3–7, Theorem 2) is
+// estimated here by repeated independent trials. Trials receive pure
+// per-index RNG streams (rng.Stream), so results are bit-for-bit
+// reproducible no matter how many workers run or how the scheduler
+// interleaves them.
+package montecarlo
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ftcsn/internal/rng"
+	"ftcsn/internal/stats"
+)
+
+// Config controls a Monte-Carlo run.
+type Config struct {
+	Trials  int
+	Workers int    // 0 = GOMAXPROCS
+	Seed    uint64 // root seed; trial i uses rng.Stream(Seed, i)
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunBool estimates P[trial] over cfg.Trials independent trials and
+// returns the success proportion.
+func RunBool(cfg Config, trial func(r *rng.RNG) bool) stats.Proportion {
+	perWorker := make([]stats.Proportion, cfg.workers())
+	parallelFor(cfg, func(w int, i uint64) {
+		perWorker[w].Add(trial(rng.Stream(cfg.Seed, i)))
+	})
+	var total stats.Proportion
+	for _, p := range perWorker {
+		total.Merge(p)
+	}
+	return total
+}
+
+// RunSample accumulates a numeric statistic over cfg.Trials trials.
+func RunSample(cfg Config, trial func(r *rng.RNG) float64) stats.Sample {
+	perWorker := make([]stats.Sample, cfg.workers())
+	parallelFor(cfg, func(w int, i uint64) {
+		perWorker[w].Add(trial(rng.Stream(cfg.Seed, i)))
+	})
+	var total stats.Sample
+	for w := range perWorker {
+		total.Merge(&perWorker[w])
+	}
+	return total
+}
+
+// parallelFor executes body(worker, trialIndex) for every trial index on a
+// worker pool with dynamic (atomic counter) load balancing.
+func parallelFor(cfg Config, body func(worker int, trial uint64)) {
+	workers := cfg.workers()
+	if cfg.Trials <= 0 {
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(cfg.Trials) {
+					return
+				}
+				body(w, uint64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,77 @@
+package montecarlo
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"ftcsn/internal/rng"
+)
+
+func TestRunBoolEstimates(t *testing.T) {
+	p := RunBool(Config{Trials: 20000, Workers: 4, Seed: 1}, func(r *rng.RNG) bool {
+		return r.Bernoulli(0.3)
+	})
+	if p.Trials != 20000 {
+		t.Fatalf("trials = %d", p.Trials)
+	}
+	if math.Abs(p.Estimate()-0.3) > 0.02 {
+		t.Fatalf("estimate = %v", p.Estimate())
+	}
+}
+
+func TestRunBoolReproducibleAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) int {
+		p := RunBool(Config{Trials: 5000, Workers: workers, Seed: 99}, func(r *rng.RNG) bool {
+			return r.Bernoulli(0.5)
+		})
+		return p.Successes
+	}
+	if run(1) != run(8) {
+		t.Fatal("results depend on worker count")
+	}
+}
+
+func TestRunSample(t *testing.T) {
+	s := RunSample(Config{Trials: 10000, Workers: 3, Seed: 5}, func(r *rng.RNG) float64 {
+		return r.Float64()
+	})
+	if s.N() != 10000 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-0.5) > 0.02 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if s.Min() < 0 || s.Max() >= 1 {
+		t.Fatalf("range [%v,%v]", s.Min(), s.Max())
+	}
+}
+
+func TestEveryTrialRunsExactlyOnce(t *testing.T) {
+	var count atomic.Int64
+	RunBool(Config{Trials: 1234, Workers: 7, Seed: 2}, func(r *rng.RNG) bool {
+		count.Add(1)
+		return true
+	})
+	if count.Load() != 1234 {
+		t.Fatalf("ran %d trials", count.Load())
+	}
+}
+
+func TestZeroTrials(t *testing.T) {
+	p := RunBool(Config{Trials: 0, Seed: 3}, func(r *rng.RNG) bool { return true })
+	if p.Trials != 0 {
+		t.Fatal("phantom trials")
+	}
+	s := RunSample(Config{Trials: 0, Seed: 3}, func(r *rng.RNG) float64 { return 1 })
+	if s.N() != 0 {
+		t.Fatal("phantom samples")
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	p := RunBool(Config{Trials: 100, Seed: 4}, func(r *rng.RNG) bool { return true })
+	if p.Successes != 100 {
+		t.Fatalf("successes = %d", p.Successes)
+	}
+}

@@ -1,0 +1,302 @@
+// Package netsim is a concurrent, message-passing simulator of circuit
+// switching at the link level: every link (vertex) of the network runs as
+// its own goroutine and owns its state exclusively, in CSP style — no
+// locks, no shared mutable memory.
+//
+// Circuit establishment follows the classic distributed probe/ack/release
+// protocol with backtracking, the on-line path-selection setting of
+// Arora–Leighton–Maggs [ALM] that the paper's §4 alludes to:
+//
+//   - a PROBE for circuit c travels forward from the requesting input,
+//     tentatively reserving each link it visits;
+//   - a link that is busy, discarded by repair, or out of untried forward
+//     switches answers NACK, and the probe backtracks and tries the next
+//     switch (distributed DFS);
+//   - when the probe reaches the requested output, an ACK travels back
+//     along the reserved chain confirming the circuit;
+//   - RELEASE tears the chain down forward from the input.
+//
+// Because each link is a single goroutine, reservation conflicts are
+// resolved by message order alone: two circuits can never both hold one
+// link, and the safety property (established circuits are vertex-disjoint)
+// holds by construction. The simulator exercises exactly the paper's
+// greedy-routing claim in a distributed setting: on the repaired Network
+// 𝒩 with the majority-access certificate, probes always succeed.
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ftcsn/internal/fault"
+	"ftcsn/internal/graph"
+)
+
+// kind discriminates protocol messages.
+type kind uint8
+
+const (
+	probe kind = iota
+	ack
+	nack
+	release
+)
+
+// message is one protocol datagram between link goroutines.
+type message struct {
+	kind kind
+	cid  int64 // circuit ID
+	from int32 // sending vertex (-1 = the request driver)
+	dst  int32 // requested output terminal (probe only)
+}
+
+// result reports a request outcome to the caller.
+type result struct {
+	cid int64
+	ok  bool
+}
+
+// probeState is a link's bookkeeping for one in-flight circuit.
+type probeState struct {
+	parent  int32 // upstream vertex (-1 for the input terminal)
+	nextOut int   // next out-switch index to try
+	child   int32 // downstream vertex once known (-1 until then)
+	dstOf   int32 // the circuit's requested output terminal
+}
+
+// Sim runs one goroutine per link over a (possibly repaired) network.
+type Sim struct {
+	g        *graph.Graph
+	vertexOK []bool // nil = all usable
+	edgeOK   []bool
+	inbox    []chan message
+	results  chan result
+	quit     chan struct{}
+	wg       sync.WaitGroup
+
+	mu      sync.Mutex
+	pending map[int64]chan bool // circuit ID → caller's completion channel
+	nextCid int64
+}
+
+// inboxCap bounds per-link mailbox size; each circuit has at most one
+// outstanding message per link, so capacity proportional to degree plus
+// slack prevents send-blocking in practice.
+const inboxCap = 64
+
+// New starts a simulator over the fault-free network g.
+func New(g *graph.Graph) *Sim { return start(g, nil, nil) }
+
+// NewRepaired starts a simulator over the network repaired from inst by
+// the paper's discard rule.
+func NewRepaired(inst *fault.Instance) *Sim {
+	usable := inst.Repair()
+	edgeOK := make([]bool, inst.G.NumEdges())
+	for e := range edgeOK {
+		edgeOK[e] = inst.RepairedEdgeUsable(usable, int32(e))
+	}
+	return start(inst.G, usable, edgeOK)
+}
+
+func start(g *graph.Graph, vertexOK, edgeOK []bool) *Sim {
+	n := g.NumVertices()
+	s := &Sim{
+		g:        g,
+		vertexOK: vertexOK,
+		edgeOK:   edgeOK,
+		inbox:    make([]chan message, n),
+		results:  make(chan result, 256),
+		quit:     make(chan struct{}),
+		pending:  make(map[int64]chan bool),
+	}
+	for v := range s.inbox {
+		s.inbox[v] = make(chan message, inboxCap)
+	}
+	s.wg.Add(n + 1)
+	for v := 0; v < n; v++ {
+		go s.linkLoop(int32(v))
+	}
+	go s.dispatchLoop()
+	return s
+}
+
+// Close shuts down all link goroutines. Pending requests are abandoned.
+func (s *Sim) Close() {
+	close(s.quit)
+	s.wg.Wait()
+}
+
+// usableVertex reports whether v survived repair.
+func (s *Sim) usableVertex(v int32) bool { return s.vertexOK == nil || s.vertexOK[v] }
+
+func (s *Sim) usableEdge(e int32) bool { return s.edgeOK == nil || s.edgeOK[e] }
+
+// send delivers m to v's mailbox (dropping only on shutdown).
+func (s *Sim) send(v int32, m message) {
+	select {
+	case s.inbox[v] <- m:
+	case <-s.quit:
+	}
+}
+
+// dispatchLoop routes results back to the blocked callers.
+func (s *Sim) dispatchLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case r := <-s.results:
+			s.mu.Lock()
+			ch := s.pending[r.cid]
+			delete(s.pending, r.cid)
+			s.mu.Unlock()
+			if ch != nil {
+				ch <- r.ok
+			}
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// linkLoop is the per-link goroutine: it exclusively owns the link's
+// reservation state and its per-circuit probe bookkeeping.
+func (s *Sim) linkLoop(v int32) {
+	defer s.wg.Done()
+	var owner int64 = -1 // circuit holding this link (-1 = idle)
+	states := make(map[int64]*probeState)
+	for {
+		select {
+		case <-s.quit:
+			return
+		case m := <-s.inbox[v]:
+			switch m.kind {
+			case probe:
+				if v == m.dst {
+					// Output terminal: accept if idle.
+					if owner < 0 {
+						owner = m.cid
+						s.send(m.from, message{kind: ack, cid: m.cid, from: v})
+					} else {
+						s.send(m.from, message{kind: nack, cid: m.cid, from: v})
+					}
+					continue
+				}
+				if owner >= 0 || !s.usableVertex(v) || (s.g.IsTerminal(v) && m.from >= 0) {
+					// Busy, discarded, or a foreign terminal: refuse.
+					s.send(m.from, message{kind: nack, cid: m.cid, from: v})
+					continue
+				}
+				owner = m.cid // tentative reservation
+				st := &probeState{parent: m.from, child: -1, dstOf: m.dst}
+				states[m.cid] = st
+				if !s.advance(v, st, m.cid) {
+					owner = -1
+					delete(states, m.cid)
+					s.replyUp(st.parent, message{kind: nack, cid: m.cid, from: v})
+				}
+			case nack:
+				st := states[m.cid]
+				if st == nil || owner != m.cid {
+					continue // stale
+				}
+				if !s.advance(v, st, m.cid) {
+					owner = -1
+					delete(states, m.cid)
+					s.replyUp(st.parent, message{kind: nack, cid: m.cid, from: v})
+				}
+			case ack:
+				st := states[m.cid]
+				if st == nil || owner != m.cid {
+					continue
+				}
+				s.replyUp(st.parent, message{kind: ack, cid: m.cid, from: v})
+			case release:
+				st := states[m.cid]
+				if owner == m.cid {
+					owner = -1
+				}
+				if st != nil {
+					if st.child >= 0 {
+						s.send(st.child, message{kind: release, cid: m.cid})
+					}
+					delete(states, m.cid)
+				}
+			}
+		}
+	}
+}
+
+// advance sends the probe for cid out of v's next untried usable switch;
+// it returns false when all switches are exhausted.
+func (s *Sim) advance(v int32, st *probeState, cid int64) bool {
+	outs := s.g.OutEdges(v)
+	for st.nextOut < len(outs) {
+		e := outs[st.nextOut]
+		st.nextOut++
+		if !s.usableEdge(e) {
+			continue
+		}
+		w := s.g.EdgeTo(e)
+		if !s.usableVertex(w) {
+			continue
+		}
+		if s.g.IsTerminal(w) && w != st.dstOf {
+			continue
+		}
+		st.child = w
+		s.send(w, message{kind: probe, cid: cid, from: v, dst: st.dstOf})
+		return true
+	}
+	st.child = -1
+	return false
+}
+
+// replyUp sends m to the parent vertex, or completes the request when the
+// parent is the driver (-1).
+func (s *Sim) replyUp(parent int32, m message) {
+	if parent >= 0 {
+		s.send(parent, m)
+		return
+	}
+	select {
+	case s.results <- result{cid: m.cid, ok: m.kind == ack}:
+	case <-s.quit:
+	}
+}
+
+// Request establishes a circuit from input in to output out, blocking
+// until the distributed protocol resolves (or timeout). It returns the
+// circuit ID for Release.
+func (s *Sim) Request(in, out int32, timeout time.Duration) (int64, error) {
+	if !s.usableVertex(in) || !s.usableVertex(out) {
+		return 0, fmt.Errorf("netsim: terminal discarded by repair")
+	}
+	done := make(chan bool, 1)
+	s.mu.Lock()
+	s.nextCid++
+	cid := s.nextCid
+	s.pending[cid] = done
+	s.mu.Unlock()
+
+	// The input terminal participates as the first link of the chain.
+	s.send(in, message{kind: probe, cid: cid, from: -1, dst: out})
+
+	select {
+	case ok := <-done:
+		if !ok {
+			return 0, fmt.Errorf("netsim: no idle path for circuit %d", cid)
+		}
+		return cid, nil
+	case <-time.After(timeout):
+		s.mu.Lock()
+		delete(s.pending, cid)
+		s.mu.Unlock()
+		return 0, fmt.Errorf("netsim: circuit %d timed out", cid)
+	}
+}
+
+// Release tears down an established circuit, starting at its input.
+func (s *Sim) Release(in int32, cid int64) {
+	s.send(in, message{kind: release, cid: cid})
+}

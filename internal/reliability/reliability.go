@@ -1,0 +1,414 @@
+// Package reliability computes exact failure probabilities of two-terminal
+// switch networks under the Moore–Shannon / Pippenger–Lin random switch
+// failure model, plus the series/parallel composition calculus used in the
+// proof of Proposition 1.
+//
+// A two-terminal network (an "(ε,ε′)-1-network") fails in one of two ways:
+//
+//   - it is OPEN if no conducting path joins input to output (a switch
+//     conducts when it is normal or closed-failed, i.e. with probability
+//     1−ε₁);
+//   - it is SHORTED if the input and output contract into one node, which
+//     requires a path consisting solely of closed-failed switches (each
+//     closed with probability ε₂).
+//
+// Both events are "does a path of p-present edges exist" questions with
+// different per-edge probabilities p, so a single algorithm serves both.
+// For the (l,w)-directed grids of the paper (Fig. 4) the forward staged
+// structure admits an O(w·4^l·l) subset-distribution dynamic program:
+// conditioned on the reachable row set of stage j, the events "row i of
+// stage j+1 is reached" are independent across i, because each row has its
+// own pair of incoming switches.
+//
+// A subtlety: contraction through closed switches is undirected (a closed
+// switch merges its endpoints, which conducts both ways), so a
+// source→sink connection may zig-zag backwards through a contracted
+// cluster. The forward DP is exact for forward-path events and therefore
+// brackets the contraction semantics:
+//
+//	GridPathProb(ε₂)      ≤ P[shorted]            (forward closed paths only)
+//	1−GridPathProb(1−ε₁)  ≥ P[open]               (forward conduction only)
+//
+// ExactSmallNetwork enumerates all 3^m switch states of an arbitrary small
+// network with the true contraction semantics and is used in tests to
+// calibrate how tight the bracket is (for grids it is tight to a few
+// percent at ε ≤ 0.25 and asymptotically negligible).
+package reliability
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"ftcsn/internal/graph"
+)
+
+// MaxExactRows bounds the grid height for the exact subset DP; 4^l subset
+// pairs per stage keeps l ≤ 12 practical.
+const MaxExactRows = 12
+
+// GridPathProb returns the exact probability that, in an (l,w) directed
+// grid with a source joined to every row of the first stage and a sink
+// joined from every row of the last stage, the sink is reachable from the
+// source when every switch is independently present with probability p.
+//
+// Edges follow the paper's definition: (i,j)→(i,j+1) and (i,j)→(i+1,j+1);
+// with cyclic=true row arithmetic wraps modulo l (the variant used inside
+// Network 𝒩, which has 2l switches per stage transition).
+//
+// Setting p = 1−ε₁ gives the probability the network is NOT open;
+// setting p = ε₂ gives the probability the network IS shorted.
+func GridPathProb(l, w int, cyclic bool, p float64) (float64, error) {
+	if l < 1 || w < 1 {
+		return 0, fmt.Errorf("reliability: invalid grid %dx%d", l, w)
+	}
+	if l > MaxExactRows {
+		return 0, fmt.Errorf("reliability: l=%d exceeds exact limit %d", l, MaxExactRows)
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("reliability: probability %v out of range", p)
+	}
+	size := 1 << uint(l)
+	cur := make([]float64, size)
+	next := make([]float64, size)
+
+	// Initial distribution: row i of stage 0 is reached iff its source
+	// switch is present — independent across rows.
+	for s := 0; s < size; s++ {
+		k := bits.OnesCount(uint(s))
+		cur[s] = math.Pow(p, float64(k)) * math.Pow(1-p, float64(l-k))
+	}
+
+	// probReach[i] given predecessor set S: row i is reached if the straight
+	// switch from row i or the diagonal switch from row i-1 conducts.
+	q := 1 - p
+	for stage := 1; stage < w; stage++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for s := 0; s < size; s++ {
+			ms := cur[s]
+			if ms == 0 {
+				continue
+			}
+			// pr[i] = P[row i reached | S=s]
+			var pr [MaxExactRows]float64
+			for i := 0; i < l; i++ {
+				straight := s&(1<<uint(i)) != 0
+				var diagFrom bool
+				if i > 0 {
+					diagFrom = s&(1<<uint(i-1)) != 0
+				} else if cyclic {
+					diagFrom = s&(1<<uint(l-1)) != 0
+				}
+				pi := 0.0
+				switch {
+				case straight && diagFrom:
+					pi = 1 - q*q
+				case straight || diagFrom:
+					pi = p
+				}
+				pr[i] = pi
+			}
+			// Fold the independent rows into the next-stage distribution:
+			// next[t] += ms * Π_i (pr[i] if bit i of t set, else 1-pr[i]).
+			for t := 0; t < size; t++ {
+				prob := ms
+				for i := 0; i < l && prob != 0; i++ {
+					if t&(1<<uint(i)) != 0 {
+						prob *= pr[i]
+					} else {
+						prob *= 1 - pr[i]
+					}
+				}
+				if prob != 0 {
+					next[t] += prob
+				}
+			}
+		}
+		cur, next = next, cur
+	}
+
+	// Sink: reached if any present sink switch leaves a reached row.
+	total := 0.0
+	for s := 0; s < size; s++ {
+		if cur[s] == 0 {
+			continue
+		}
+		k := bits.OnesCount(uint(s))
+		total += cur[s] * (1 - math.Pow(q, float64(k)))
+	}
+	return total, nil
+}
+
+// GridFailureProbs returns the forward-path probabilities that the
+// two-terminal (l,w) hammock network is open (no forward conducting path)
+// and shorted (a forward closed-only path) under the symmetric model
+// ε₁ = ε₂ = eps. Per the package comment these bracket the exact
+// contraction-semantics failure probabilities: pOpen is an upper bound on
+// the true open probability and pShort a lower bound on the true short
+// probability.
+func GridFailureProbs(l, w int, cyclic bool, eps float64) (pOpen, pShort float64, err error) {
+	conduct, err := GridPathProb(l, w, cyclic, 1-eps)
+	if err != nil {
+		return 0, 0, err
+	}
+	short, err := GridPathProb(l, w, cyclic, eps)
+	if err != nil {
+		return 0, 0, err
+	}
+	return 1 - conduct, short, nil
+}
+
+// TwoTerminal describes a two-terminal module as a super-switch with its
+// own open and short failure probabilities — the algebra of Moore &
+// Shannon's "reliable circuits using less reliable relays".
+type TwoTerminal struct {
+	POpen  float64 // probability the module fails to conduct
+	PShort float64 // probability the module is permanently shorted
+}
+
+// Series returns the composition of k copies of t in series: the chain is
+// shorted only if every module shorts, and fails to conduct if any module
+// is open.
+func (t TwoTerminal) Series(k int) TwoTerminal {
+	if k < 1 {
+		panic("reliability: Series needs k >= 1")
+	}
+	return TwoTerminal{
+		POpen:  1 - math.Pow(1-t.POpen, float64(k)),
+		PShort: math.Pow(t.PShort, float64(k)),
+	}
+}
+
+// Parallel returns the composition of k copies of t in parallel: the bundle
+// is open only if every module is open, and shorted if any module shorts.
+func (t TwoTerminal) Parallel(k int) TwoTerminal {
+	if k < 1 {
+		panic("reliability: Parallel needs k >= 1")
+	}
+	return TwoTerminal{
+		POpen:  math.Pow(t.POpen, float64(k)),
+		PShort: 1 - math.Pow(1-t.PShort, float64(k)),
+	}
+}
+
+// Worse reports whether either failure probability of t exceeds that of u.
+func (t TwoTerminal) Worse(u TwoTerminal) bool {
+	return t.POpen > u.POpen || t.PShort > u.PShort
+}
+
+// MaxExactEdges bounds the network size for ExactSmallNetwork's 3^m
+// enumeration.
+const MaxExactEdges = 14
+
+// ExactSmallNetwork computes the exact open and short probabilities of an
+// arbitrary two-terminal network (one input, one output) with the true
+// contraction semantics, by enumerating all 3^m switch-state vectors:
+//
+//	shorted: input and output lie in one component of the closed subgraph
+//	         (undirected);
+//	open:    the output is not reachable from the input when normal
+//	         switches conduct forward and closed switches conduct both ways.
+//
+// m = g.NumEdges() must be at most MaxExactEdges.
+func ExactSmallNetwork(g *graph.Graph, eps float64) (pOpen, pShort float64, err error) {
+	m := g.NumEdges()
+	if m > MaxExactEdges {
+		return 0, 0, fmt.Errorf("reliability: %d edges exceeds exact limit %d", m, MaxExactEdges)
+	}
+	if len(g.Inputs()) != 1 || len(g.Outputs()) != 1 {
+		return 0, 0, fmt.Errorf("reliability: ExactSmallNetwork needs exactly one input and one output")
+	}
+	src, dst := g.Inputs()[0], g.Outputs()[0]
+	state := make([]uint8, m) // 0 normal, 1 open, 2 closed
+	probOf := [3]float64{1 - 2*eps, eps, eps}
+	n := g.NumVertices()
+	seen := make([]bool, n)
+	queue := make([]int32, 0, n)
+
+	reach := func(closedOnly bool) bool {
+		for i := range seen {
+			seen[i] = false
+		}
+		queue = queue[:0]
+		seen[src] = true
+		queue = append(queue, src)
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, e := range g.OutEdges(v) {
+				s := state[e]
+				ok := s == 2 || (!closedOnly && s == 0)
+				if ok && !seen[g.EdgeTo(e)] {
+					seen[g.EdgeTo(e)] = true
+					queue = append(queue, g.EdgeTo(e))
+				}
+			}
+			for _, e := range g.InEdges(v) {
+				if state[e] == 2 && !seen[g.EdgeFrom(e)] {
+					seen[g.EdgeFrom(e)] = true
+					queue = append(queue, g.EdgeFrom(e))
+				}
+			}
+		}
+		return seen[dst]
+	}
+
+	total := int64(1)
+	for i := 0; i < m; i++ {
+		total *= 3
+	}
+	for code := int64(0); code < total; code++ {
+		c := code
+		prob := 1.0
+		for i := 0; i < m; i++ {
+			state[i] = uint8(c % 3)
+			prob *= probOf[state[i]]
+			c /= 3
+		}
+		if prob == 0 {
+			continue
+		}
+		if !reach(false) {
+			pOpen += prob
+		}
+		if reach(true) {
+			pShort += prob
+		}
+	}
+	return pOpen, pShort, nil
+}
+
+// FailurePolynomial computes the coefficients c_k of the failure
+// probability of a small two-terminal network as a polynomial in ε under
+// the symmetric model:
+//
+//	P[open or shorted] = Σ_k c_k · ε^k (1−2ε)^(m−k) · 2^k-normalized...
+//
+// Concretely it returns counts[k] = the number of (open/closed) failure
+// patterns with exactly k failed switches under which the network is open
+// or shorted, so that
+//
+//	P[fail](ε) = Σ_k counts[k] · ε^k · (1−2ε)^(m−k)
+//
+// (each failed switch contributes ε for its specific mode, and counts
+// already distinguishes open from closed). The §3 argument that "the
+// failure probability is a polynomial in ε whose constant term vanishes"
+// is visible directly: counts[0] = 0 for every working network, which is
+// what makes the δ-rescaling trick (replace ε by εδ₁/δ₂) sound.
+func FailurePolynomial(g *graph.Graph, maxEdges int) ([]int64, error) {
+	m := g.NumEdges()
+	if m > maxEdges || m > MaxExactEdges {
+		return nil, fmt.Errorf("reliability: %d edges exceeds limit", m)
+	}
+	if len(g.Inputs()) != 1 || len(g.Outputs()) != 1 {
+		return nil, fmt.Errorf("reliability: FailurePolynomial needs one input and one output")
+	}
+	src, dst := g.Inputs()[0], g.Outputs()[0]
+	counts := make([]int64, m+1)
+	state := make([]uint8, m)
+	n := g.NumVertices()
+	seen := make([]bool, n)
+	queue := make([]int32, 0, n)
+	reach := func(closedOnly bool) bool {
+		for i := range seen {
+			seen[i] = false
+		}
+		queue = queue[:0]
+		seen[src] = true
+		queue = append(queue, src)
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, e := range g.OutEdges(v) {
+				s := state[e]
+				if (s == 2 || (!closedOnly && s == 0)) && !seen[g.EdgeTo(e)] {
+					seen[g.EdgeTo(e)] = true
+					queue = append(queue, g.EdgeTo(e))
+				}
+			}
+			for _, e := range g.InEdges(v) {
+				if state[e] == 2 && !seen[g.EdgeFrom(e)] {
+					seen[g.EdgeFrom(e)] = true
+					queue = append(queue, g.EdgeFrom(e))
+				}
+			}
+		}
+		return seen[dst]
+	}
+	total := int64(1)
+	for i := 0; i < m; i++ {
+		total *= 3
+	}
+	for code := int64(0); code < total; code++ {
+		c := code
+		k := 0
+		for i := 0; i < m; i++ {
+			state[i] = uint8(c % 3)
+			if state[i] != 0 {
+				k++
+			}
+			c /= 3
+		}
+		if !reach(false) || reach(true) {
+			counts[k]++
+		}
+	}
+	return counts, nil
+}
+
+// EvalFailurePolynomial evaluates P[fail](ε) from FailurePolynomial's
+// counts for a network with m switches.
+func EvalFailurePolynomial(counts []int64, eps float64) float64 {
+	m := len(counts) - 1
+	p := 0.0
+	for k, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p += float64(c) * math.Pow(eps, float64(k)) * math.Pow(1-2*eps, float64(m-k))
+	}
+	return p
+}
+
+// SeriesParallelAmplifier composes a raw switch with failure probabilities
+// (eps, eps) into a module whose two failure probabilities are both below
+// target, by alternating series-of-s then parallel-of-s rounds. It returns
+// the resulting module, the number of raw switches used, and the depth (the
+// longest chain of raw switches), mirroring the recursive proof of
+// Proposition 1. s=2 or 3 suffices for any eps < 1/2.
+func SeriesParallelAmplifier(eps, target float64, s int) (mod TwoTerminal, size, depth int, err error) {
+	if eps <= 0 || eps >= 0.5 {
+		return mod, 0, 0, fmt.Errorf("reliability: eps %v out of (0, 1/2)", eps)
+	}
+	if target <= 0 || target >= 1 {
+		return mod, 0, 0, fmt.Errorf("reliability: target %v out of (0,1)", target)
+	}
+	if s < 2 {
+		return mod, 0, 0, fmt.Errorf("reliability: branching s=%d too small", s)
+	}
+	mod = TwoTerminal{POpen: eps, PShort: eps}
+	size, depth = 1, 1
+	const maxRounds = 200
+	for round := 0; round < maxRounds; round++ {
+		if mod.POpen < target && mod.PShort < target {
+			return mod, size, depth, nil
+		}
+		// Attack the currently larger failure mode; series reduces shorts,
+		// parallel reduces opens.
+		if mod.PShort >= mod.POpen {
+			mod = mod.Series(s)
+			size *= s
+			depth *= s
+		} else {
+			mod = mod.Parallel(s)
+			size *= s
+			// depth unchanged: parallel branches share the same endpoints
+		}
+		if mod.POpen >= 0.5 && mod.PShort >= 0.5 {
+			return mod, size, depth, fmt.Errorf("reliability: amplifier diverged (eps=%v too large for s=%d)", eps, s)
+		}
+	}
+	return mod, size, depth, fmt.Errorf("reliability: amplifier did not converge to %v", target)
+}

@@ -1,0 +1,244 @@
+package route
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ftcsn/internal/fault"
+	"ftcsn/internal/graph"
+	"ftcsn/internal/rng"
+)
+
+// ConcurrentRouter serves many connection requests in parallel. Each
+// request runs in its own goroutine: it computes a candidate path with a
+// racy (lock-free, read-only) BFS over the current claim state, then tries
+// to claim every path vertex with compare-and-swap. If another request
+// stole a vertex first, the claims are rolled back and the request retries
+// with a reshuffled search, up to MaxAttempts. Correctness (established
+// circuits are vertex-disjoint) rests only on the CAS claims; the racy BFS
+// is merely a heuristic that is almost always right under light contention.
+type ConcurrentRouter struct {
+	g        *graph.Graph
+	vertexOK []bool
+	edgeOK   []bool
+	claims   []atomic.Int32 // 0 = free, 1 = claimed
+
+	// MaxAttempts bounds retries per request (default 8).
+	MaxAttempts int
+}
+
+// NewConcurrentRouter returns a concurrent router over the fault-free g.
+func NewConcurrentRouter(g *graph.Graph) *ConcurrentRouter {
+	return &ConcurrentRouter{
+		g:           g,
+		claims:      make([]atomic.Int32, g.NumVertices()),
+		MaxAttempts: 8,
+	}
+}
+
+// NewConcurrentRepairedRouter returns a concurrent router over the network
+// repaired from inst by the paper's discard rule.
+func NewConcurrentRepairedRouter(inst *fault.Instance) *ConcurrentRouter {
+	usable := inst.Repair()
+	edgeOK := make([]bool, inst.G.NumEdges())
+	for e := range edgeOK {
+		edgeOK[e] = inst.RepairedEdgeUsable(usable, int32(e))
+	}
+	return &ConcurrentRouter{
+		g:           inst.G,
+		vertexOK:    usable,
+		edgeOK:      edgeOK,
+		claims:      make([]atomic.Int32, inst.G.NumVertices()),
+		MaxAttempts: 8,
+	}
+}
+
+// Request asks for a circuit from In to Out.
+type Request struct {
+	In, Out int32
+}
+
+// Result reports the outcome of one request.
+type Result struct {
+	Request
+	Path     []int32 // nil when the request failed
+	Attempts int
+}
+
+func (cr *ConcurrentRouter) usableVertex(v int32) bool {
+	return cr.vertexOK == nil || cr.vertexOK[v]
+}
+
+func (cr *ConcurrentRouter) usableEdge(e int32) bool {
+	return cr.edgeOK == nil || cr.edgeOK[e]
+}
+
+// scratch is per-worker BFS state.
+type scratch struct {
+	seenEpoch []uint32
+	epoch     uint32
+	prevEdge  []int32
+	queue     []int32
+	perm      []int32
+	r         *rng.RNG
+}
+
+func (cr *ConcurrentRouter) newScratch(r *rng.RNG) *scratch {
+	n := cr.g.NumVertices()
+	return &scratch{
+		seenEpoch: make([]uint32, n),
+		prevEdge:  make([]int32, n),
+		queue:     make([]int32, 0, 256),
+		r:         r,
+	}
+}
+
+// probe runs the racy BFS from in to out, skipping vertices currently
+// claimed, and returns a candidate path or nil. Out-edges are scanned in a
+// per-attempt rotated order so retries explore different routes.
+func (cr *ConcurrentRouter) probe(sc *scratch, in, out int32, attempt int) []int32 {
+	sc.epoch++
+	if sc.epoch == 0 {
+		for i := range sc.seenEpoch {
+			sc.seenEpoch[i] = 0
+		}
+		sc.epoch = 1
+	}
+	sc.seenEpoch[in] = sc.epoch
+	sc.queue = sc.queue[:0]
+	sc.queue = append(sc.queue, in)
+	rot := attempt + sc.r.Intn(4)
+	for head := 0; head < len(sc.queue); head++ {
+		v := sc.queue[head]
+		edges := cr.g.OutEdges(v)
+		ne := len(edges)
+		for k := 0; k < ne; k++ {
+			e := edges[(k+rot)%ne]
+			if !cr.usableEdge(e) {
+				continue
+			}
+			w := cr.g.EdgeTo(e)
+			if sc.seenEpoch[w] == sc.epoch || !cr.usableVertex(w) {
+				continue
+			}
+			if cr.claims[w].Load() != 0 {
+				continue
+			}
+			if cr.g.IsTerminal(w) && w != out {
+				continue
+			}
+			sc.seenEpoch[w] = sc.epoch
+			sc.prevEdge[w] = e
+			if w == out {
+				var rev []int32
+				for x := out; ; {
+					rev = append(rev, x)
+					if x == in {
+						break
+					}
+					x = cr.g.EdgeFrom(sc.prevEdge[x])
+				}
+				path := make([]int32, len(rev))
+				for i, x := range rev {
+					path[len(rev)-1-i] = x
+				}
+				return path
+			}
+			sc.queue = append(sc.queue, w)
+		}
+	}
+	return nil
+}
+
+// tryClaim atomically claims every vertex of path; on conflict it rolls
+// back and returns false.
+func (cr *ConcurrentRouter) tryClaim(path []int32) bool {
+	for i, v := range path {
+		if !cr.claims[v].CompareAndSwap(0, 1) {
+			for j := 0; j < i; j++ {
+				cr.claims[path[j]].Store(0)
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// Release frees the vertices of an established path.
+func (cr *ConcurrentRouter) Release(path []int32) {
+	for _, v := range path {
+		cr.claims[v].Store(0)
+	}
+}
+
+// Claimed reports whether v is currently claimed.
+func (cr *ConcurrentRouter) Claimed(v int32) bool { return cr.claims[v].Load() != 0 }
+
+// ServeOne processes a single request synchronously using sc.
+func (cr *ConcurrentRouter) serveOne(sc *scratch, req Request) Result {
+	res := Result{Request: req}
+	if !cr.usableVertex(req.In) || !cr.usableVertex(req.Out) {
+		return res
+	}
+	for attempt := 0; attempt < cr.MaxAttempts; attempt++ {
+		res.Attempts = attempt + 1
+		path := cr.probe(sc, req.In, req.Out, attempt)
+		if path == nil {
+			// No idle path right now; under contention another circuit may
+			// release later, but in batch mode we just fail fast.
+			return res
+		}
+		if cr.tryClaim(path) {
+			res.Path = path
+			return res
+		}
+	}
+	return res
+}
+
+// ServeBatch processes the requests with `workers` goroutines and returns
+// per-request results in input order. Established circuits remain claimed;
+// release them with Release. seed derives the per-worker search RNGs.
+func (cr *ConcurrentRouter) ServeBatch(reqs []Request, workers int, seed uint64) []Result {
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]Result, len(reqs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	root := rng.New(seed)
+	scratches := make([]*scratch, workers)
+	for w := range scratches {
+		scratches[w] = cr.newScratch(root.Split(uint64(w)))
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(sc *scratch) {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(len(reqs)) {
+					return
+				}
+				results[i] = cr.serveOne(sc, reqs[i])
+			}
+		}(scratches[w])
+	}
+	wg.Wait()
+	return results
+}
+
+// VerifyDisjoint checks that the successful results' paths are pairwise
+// vertex-disjoint (the safety property the CAS claims must enforce).
+func VerifyDisjoint(results []Result) bool {
+	seen := make(map[int32]bool)
+	for _, res := range results {
+		for _, v := range res.Path {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+	}
+	return true
+}

@@ -1,0 +1,241 @@
+// Package route implements circuit-switching session routing: establishing
+// and releasing vertex-disjoint paths between idle terminals of a network.
+//
+// Pippenger & Lin's §4 observes that because their fault-tolerant network
+// contains a *strictly* nonblocking network, "routing can be performed by a
+// 'greedy' application of a standard path-finding algorithm, so no
+// difficult computations are involved". Router is that greedy algorithm: a
+// BFS over idle usable vertices. On a strictly nonblocking (sub)network it
+// can never fail; on weaker networks (Beneš without rearrangement,
+// butterflies) its failures are themselves measurements, which experiment
+// E9 exploits.
+//
+// Two engines are provided: the sequential Router, and ConcurrentRouter,
+// which processes many connection requests in parallel with one goroutine
+// per request, claiming vertices with atomic compare-and-swap and retrying
+// on conflict — a software analogue of the distributed path-selection
+// setting of Arora, Leighton & Maggs [ALM].
+package route
+
+import (
+	"errors"
+	"fmt"
+
+	"ftcsn/internal/fault"
+	"ftcsn/internal/graph"
+)
+
+// ErrNoPath is returned when no idle path joins the requested terminals.
+var ErrNoPath = errors.New("route: no idle path between requested terminals")
+
+// ErrBusyTerminal is returned when an endpoint is already in a circuit.
+var ErrBusyTerminal = errors.New("route: terminal already busy")
+
+// Router maintains a set of vertex-disjoint circuits on a (possibly
+// repaired) network and serves connect/disconnect requests greedily.
+type Router struct {
+	g        *graph.Graph
+	vertexOK []bool // usable vertices after repair (nil = all usable)
+	edgeOK   []bool // usable switches after repair (nil = all usable)
+	busy     []bool // vertices held by established circuits
+	circuits map[int64][]int32
+
+	// BFS scratch, epoch-stamped to avoid clearing per request.
+	seenEpoch []uint32
+	epoch     uint32
+	prevEdge  []int32
+	queue     []int32
+}
+
+// NewRouter returns a router over the fault-free network g.
+func NewRouter(g *graph.Graph) *Router {
+	return newRouter(g, nil, nil)
+}
+
+// NewRepairedRouter returns a router over the repaired network defined by a
+// fault instance: the paper's discard rule removes both endpoints of every
+// failed switch (terminals excepted), and only normal switches conduct.
+func NewRepairedRouter(inst *fault.Instance) *Router {
+	usable := inst.Repair()
+	edgeOK := make([]bool, inst.G.NumEdges())
+	for e := range edgeOK {
+		edgeOK[e] = inst.RepairedEdgeUsable(usable, int32(e))
+	}
+	return newRouter(inst.G, usable, edgeOK)
+}
+
+func newRouter(g *graph.Graph, vertexOK, edgeOK []bool) *Router {
+	n := g.NumVertices()
+	return &Router{
+		g:         g,
+		vertexOK:  vertexOK,
+		edgeOK:    edgeOK,
+		busy:      make([]bool, n),
+		circuits:  make(map[int64][]int32),
+		seenEpoch: make([]uint32, n),
+		prevEdge:  make([]int32, n),
+		queue:     make([]int32, 0, 256),
+	}
+}
+
+func circuitKey(in, out int32) int64 { return int64(in)<<32 | int64(uint32(out)) }
+
+func (rt *Router) usableVertex(v int32) bool {
+	return rt.vertexOK == nil || rt.vertexOK[v]
+}
+
+func (rt *Router) usableEdge(e int32) bool {
+	return rt.edgeOK == nil || rt.edgeOK[e]
+}
+
+// Connect establishes a circuit from input in to output out along a path
+// of idle usable vertices, returning the path (in … out). It fails with
+// ErrBusyTerminal if either endpoint is busy and ErrNoPath if the greedy
+// search finds no idle route.
+func (rt *Router) Connect(in, out int32) ([]int32, error) {
+	if rt.busy[in] || rt.busy[out] {
+		return nil, ErrBusyTerminal
+	}
+	if !rt.usableVertex(in) || !rt.usableVertex(out) {
+		return nil, fmt.Errorf("route: terminal discarded by repair: %d or %d", in, out)
+	}
+	if _, dup := rt.circuits[circuitKey(in, out)]; dup {
+		return nil, fmt.Errorf("route: circuit (%d,%d) already exists", in, out)
+	}
+	rt.epoch++
+	if rt.epoch == 0 { // wrapped: clear stamps and restart epochs
+		for i := range rt.seenEpoch {
+			rt.seenEpoch[i] = 0
+		}
+		rt.epoch = 1
+	}
+	rt.seenEpoch[in] = rt.epoch
+	rt.queue = rt.queue[:0]
+	rt.queue = append(rt.queue, in)
+	found := false
+	for head := 0; head < len(rt.queue) && !found; head++ {
+		v := rt.queue[head]
+		for _, e := range rt.g.OutEdges(v) {
+			if !rt.usableEdge(e) {
+				continue
+			}
+			w := rt.g.EdgeTo(e)
+			if rt.seenEpoch[w] == rt.epoch || rt.busy[w] || !rt.usableVertex(w) {
+				continue
+			}
+			// Intermediate vertices must not be terminals other than out:
+			// circuits may not pass through another input or output.
+			if rt.g.IsTerminal(w) && w != out {
+				continue
+			}
+			rt.seenEpoch[w] = rt.epoch
+			rt.prevEdge[w] = e
+			if w == out {
+				found = true
+				break
+			}
+			rt.queue = append(rt.queue, w)
+		}
+	}
+	if !found {
+		return nil, ErrNoPath
+	}
+	// Reconstruct and claim the path.
+	var rev []int32
+	for v := out; ; {
+		rev = append(rev, v)
+		if v == in {
+			break
+		}
+		v = rt.g.EdgeFrom(rt.prevEdge[v])
+	}
+	path := make([]int32, len(rev))
+	for i, v := range rev {
+		path[len(rev)-1-i] = v
+	}
+	for _, v := range path {
+		rt.busy[v] = true
+	}
+	rt.circuits[circuitKey(in, out)] = path
+	return path, nil
+}
+
+// Disconnect releases the circuit between in and out.
+func (rt *Router) Disconnect(in, out int32) error {
+	key := circuitKey(in, out)
+	path, ok := rt.circuits[key]
+	if !ok {
+		return fmt.Errorf("route: no circuit (%d,%d)", in, out)
+	}
+	for _, v := range path {
+		rt.busy[v] = false
+	}
+	delete(rt.circuits, key)
+	return nil
+}
+
+// ActiveCircuits returns the number of established circuits.
+func (rt *Router) ActiveCircuits() int { return len(rt.circuits) }
+
+// Busy reports whether vertex v is held by a circuit.
+func (rt *Router) Busy(v int32) bool { return rt.busy[v] }
+
+// BusyMask returns the busy-vertex mask (shared; do not mutate).
+func (rt *Router) BusyMask() []bool { return rt.busy }
+
+// PathOf returns the established path for (in, out), or nil.
+func (rt *Router) PathOf(in, out int32) []int32 { return rt.circuits[circuitKey(in, out)] }
+
+// Reset releases all circuits.
+func (rt *Router) Reset() {
+	for i := range rt.busy {
+		rt.busy[i] = false
+	}
+	rt.circuits = make(map[int64][]int32)
+}
+
+// VerifyInvariants checks that established circuits are vertex-disjoint
+// directed paths over usable idle-claimed vertices; it is used by tests and
+// the churn harness.
+func (rt *Router) VerifyInvariants() error {
+	claimed := make(map[int32]bool)
+	for key, path := range rt.circuits {
+		in := int32(key >> 32)
+		out := int32(uint32(key))
+		if len(path) < 2 || path[0] != in || path[len(path)-1] != out {
+			return fmt.Errorf("route: malformed path for (%d,%d)", in, out)
+		}
+		for i, v := range path {
+			if claimed[v] {
+				return fmt.Errorf("route: vertex %d on two circuits", v)
+			}
+			claimed[v] = true
+			if !rt.busy[v] {
+				return fmt.Errorf("route: path vertex %d not marked busy", v)
+			}
+			if !rt.usableVertex(v) {
+				return fmt.Errorf("route: path vertex %d not usable", v)
+			}
+			if i == 0 {
+				continue
+			}
+			// There must be a usable switch path[i-1] -> path[i].
+			ok := false
+			for _, e := range rt.g.OutEdges(path[i-1]) {
+				if rt.g.EdgeTo(e) == v && rt.usableEdge(e) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("route: no usable switch %d->%d", path[i-1], v)
+			}
+		}
+	}
+	for v, isBusy := range rt.busy {
+		if isBusy && !claimed[int32(v)] {
+			return fmt.Errorf("route: vertex %d busy but on no circuit", v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package trees
+
+// Diagnostics of the payment arguments illustrated by the paper's
+// Figs. 1–3: the structure around bad leaves and the accounting bounds
+// used in the proof of Lemma 1.
+
+import (
+	"testing"
+
+	"ftcsn/internal/rng"
+)
+
+// internalWithinDistance counts internal (degree ≥ 2) vertices within
+// tree distance maxD of src.
+func internalWithinDistance(t *Tree, src int32, maxD int) int {
+	type qe struct {
+		v int32
+		d int
+	}
+	seen := map[int32]bool{src: true}
+	queue := []qe{{src, 0}}
+	count := 0
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		if cur.d >= maxD {
+			continue
+		}
+		for _, h := range t.adj[cur.v] {
+			if seen[h.to] {
+				continue
+			}
+			seen[h.to] = true
+			if t.Degree(h.to) > 1 {
+				count++
+			}
+			queue = append(queue, qe{h.to, cur.d + 1})
+		}
+	}
+	return count
+}
+
+func TestFig1BadLeafNeighborhood(t *testing.T) {
+	// Fig. 1: a bad leaf in a DEGREE-3 tree pays one dollar to each of the
+	// (at most) seven internal nodes within distance 3. Build the Fig. 1
+	// witness exactly: a leaf on a hub whose branches descend 3 levels.
+	tr := NewTree(0)
+	hub := tr.AddVertex()
+	lonely := tr.AddVertex()
+	tr.AddEdge(hub, lonely)
+	for b := 0; b < 2; b++ {
+		x := tr.AddVertex()
+		tr.AddEdge(hub, x)
+		for c := 0; c < 2; c++ {
+			y := tr.AddVertex()
+			tr.AddEdge(x, y)
+			for d := 0; d < 2; d++ {
+				tr.AddEdge(y, tr.AddVertex())
+			}
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := BadLeaves(tr)
+	if len(bad) != 1 || bad[0] != lonely {
+		t.Fatalf("bad leaves = %v, want just the lonely leaf", bad)
+	}
+	// The lonely leaf sees exactly 7 internal nodes within distance 3:
+	// hub, 2 children, 4 grandchildren.
+	if got := internalWithinDistance(tr, lonely, 3); got != 7 {
+		t.Fatalf("internal nodes within 3 = %d, want 7 (Fig. 1)", got)
+	}
+}
+
+func TestFig1BoundOnRandomTrees(t *testing.T) {
+	// In arbitrary-degree trees the count can differ, but for every bad
+	// leaf it is at least 1 (its own neighbor) — and after the degree-3
+	// reduction of the proof it is at most 7. Verify the raw-tree bound
+	// that every bad leaf has ≥ 1 and that bad leaves have no leaf within
+	// distance 3 (the defining property).
+	r := rng.New(0xF16)
+	for trial := 0; trial < 10; trial++ {
+		tr := RandomLeafy(150, r)
+		for _, b := range BadLeaves(tr) {
+			if nearestLeafWithin(tr, b, 3) >= 0 {
+				t.Fatal("bad leaf has a close leaf")
+			}
+			if internalWithinDistance(tr, b, 3) < 1 {
+				t.Fatal("bad leaf sees no internal nodes")
+			}
+		}
+	}
+}
+
+func TestGoodLeavesHaveCloseLeaf(t *testing.T) {
+	r := rng.New(0xF17)
+	tr := RandomLeafy(100, r)
+	bad := map[int32]bool{}
+	for _, b := range BadLeaves(tr) {
+		bad[b] = true
+	}
+	for _, leaf := range tr.Leaves() {
+		if bad[leaf] {
+			continue
+		}
+		if nearestLeafWithin(tr, leaf, 3) < 0 {
+			t.Fatalf("good leaf %d has no leaf within distance 3", leaf)
+		}
+	}
+}
+
+func TestExtractionCoversGoodLeafFraction(t *testing.T) {
+	// The proof's chain: ≥ l/7 good leaves, a maximal path set touches at
+	// least 1/6 of them as endpoints... operationally: extracted paths ≥
+	// (good leaves)/6 / ... we check the concrete m/42-style consequence:
+	// extracted ≥ good/42 (much weaker than observed).
+	r := rng.New(0xF18)
+	for trial := 0; trial < 10; trial++ {
+		tr := RandomLeafy(300, r)
+		leaves := len(tr.Leaves())
+		good := leaves - len(BadLeaves(tr))
+		paths := ExtractShortPaths(tr)
+		if len(paths)*42 < good {
+			t.Fatalf("paths %d below good/42 = %d", len(paths), good/42)
+		}
+	}
+}
+
+func TestPathEndpointsAreDistinctLeaves(t *testing.T) {
+	// No leaf serves as endpoint of two extracted paths (each leaf has one
+	// edge; edge-disjointness forces endpoint-disjointness).
+	r := rng.New(0xF19)
+	tr := RandomLeafy(200, r)
+	paths := ExtractShortPaths(tr)
+	seen := map[int32]bool{}
+	for _, p := range paths {
+		if seen[p.A] || seen[p.B] {
+			t.Fatal("leaf reused as endpoint")
+		}
+		seen[p.A] = true
+		seen[p.B] = true
+	}
+}

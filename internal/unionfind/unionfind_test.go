@@ -1,0 +1,89 @@
+package unionfind
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSingletons(t *testing.T) {
+	d := New(5)
+	if d.Components() != 5 {
+		t.Fatalf("Components = %d", d.Components())
+	}
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			if d.Same(i, j) {
+				t.Fatalf("fresh DSU: %d and %d joined", i, j)
+			}
+		}
+	}
+}
+
+func TestUnionChain(t *testing.T) {
+	d := New(10)
+	for i := 0; i < 9; i++ {
+		if !d.Union(i, i+1) {
+			t.Fatalf("Union(%d,%d) reported no-op", i, i+1)
+		}
+	}
+	if d.Components() != 1 {
+		t.Fatalf("Components = %d after chain", d.Components())
+	}
+	if !d.Same(0, 9) {
+		t.Fatal("0 and 9 not joined")
+	}
+	if d.Union(3, 7) {
+		t.Fatal("Union inside one component reported a merge")
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New(4)
+	d.Union(0, 1)
+	d.Union(2, 3)
+	d.Reset()
+	if d.Components() != 4 || d.Same(0, 1) {
+		t.Fatal("Reset did not restore singletons")
+	}
+}
+
+// Property: Same is an equivalence relation consistent with the union
+// history (checked against a naive quadratic implementation).
+func TestQuickAgainstNaive(t *testing.T) {
+	type op struct{ A, B uint8 }
+	f := func(ops []op) bool {
+		const n = 32
+		d := New(n)
+		naive := make([]int, n)
+		for i := range naive {
+			naive[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range naive {
+				if naive[i] == from {
+					naive[i] = to
+				}
+			}
+		}
+		for _, o := range ops {
+			a, b := int(o.A)%n, int(o.B)%n
+			d.Union(a, b)
+			if naive[a] != naive[b] {
+				relabel(naive[a], naive[b])
+			}
+		}
+		comp := map[int]bool{}
+		for i := 0; i < n; i++ {
+			comp[naive[i]] = true
+			for j := 0; j < n; j++ {
+				if d.Same(i, j) != (naive[i] == naive[j]) {
+					return false
+				}
+			}
+		}
+		return d.Components() == len(comp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
