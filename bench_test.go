@@ -1,9 +1,9 @@
 package ftcsn
 
-// Benchmark harness: one benchmark per experiment (E1–E10, the paper's
+// Benchmark harness: one benchmark per experiment (E1–E13, the paper's
 // tables/figures — see DESIGN.md §4 for the index) plus micro-benchmarks
 // of the hot paths (construction, fault injection, repair, access
-// certification, routing).
+// certification, routing, and the zero-allocation Evaluator trial engine).
 //
 // Run everything:  go test -bench=. -benchmem
 // One experiment:  go test -bench=BenchmarkE8 -benchmem
@@ -14,6 +14,7 @@ import (
 	"ftcsn/internal/core"
 	"ftcsn/internal/experiments"
 	"ftcsn/internal/fault"
+	"ftcsn/internal/montecarlo"
 	"ftcsn/internal/rng"
 	"ftcsn/internal/route"
 )
@@ -195,6 +196,99 @@ func BenchmarkConcurrentBatch8(b *testing.B) {
 				cr.Release(res.Path)
 			}
 		}
+	}
+}
+
+// BenchmarkEvaluatorTrial measures one full Theorem-2 trial (inject →
+// discard repair → majority-access certificate → 120-op churn) on the
+// zero-allocation Evaluator fast path, n=64. Compare with
+// BenchmarkEvaluateLegacy: same work on the one-shot allocating pipeline.
+func BenchmarkEvaluatorTrial(b *testing.B) {
+	nw := benchNetwork(b, 3)
+	ev := NewEvaluator(nw)
+	m := fault.Symmetric(1e-3)
+	var out core.TrialOutcome
+	r := rng.New(7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.EvaluateInto(&out, m, r, 120)
+	}
+}
+
+// BenchmarkEvaluateLegacy is the pre-Evaluator pipeline (fresh buffers
+// every trial), kept as the before/after baseline for the Evaluator.
+func BenchmarkEvaluateLegacy(b *testing.B) {
+	nw := benchNetwork(b, 3)
+	m := fault.Symmetric(1e-3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = nw.Evaluate(m, uint64(i), 120)
+	}
+}
+
+// BenchmarkMonteCarloTheorem2Engine runs an experiment-scale (256-trial,
+// all-core) Theorem-2 Monte-Carlo estimate on the batched engine:
+// per-worker Evaluators, zero steady-state allocation. Compare with
+// BenchmarkMonteCarloTheorem2Legacy, which rebuilds every per-trial buffer
+// the way the harness did before the Evaluator existed.
+func BenchmarkMonteCarloTheorem2Engine(b *testing.B) {
+	nw := benchNetwork(b, 2)
+	m := fault.Symmetric(0.002)
+	cfg := montecarlo.Config{Trials: 256, Seed: 0xBE}
+	type scratch struct {
+		ev  *Evaluator
+		out TrialOutcome
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := montecarlo.RunBoolWith(cfg,
+			func() *scratch { return &scratch{ev: NewEvaluator(nw)} },
+			func(r *rng.RNG, s *scratch) bool {
+				s.ev.EvaluateInto(&s.out, m, r, 120)
+				return s.out.Success
+			})
+		if p.Trials != cfg.Trials {
+			b.Fatal("wrong trial count")
+		}
+	}
+}
+
+// BenchmarkMonteCarloTheorem2Legacy is the same estimate with fresh
+// per-trial state (instance, masks, checker, router) — the pre-Evaluator
+// code path, kept for the before/after comparison.
+func BenchmarkMonteCarloTheorem2Legacy(b *testing.B) {
+	nw := benchNetwork(b, 2)
+	m := fault.Symmetric(0.002)
+	cfg := montecarlo.Config{Trials: 256, Seed: 0xBE}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := montecarlo.RunBool(cfg, func(r *rng.RNG) bool {
+			inst := fault.Inject(nw.G, m, r)
+			return nw.EvaluateInstance(inst, 120, r).Success
+		})
+		if p.Trials != cfg.Trials {
+			b.Fatal("wrong trial count")
+		}
+	}
+}
+
+// BenchmarkWitnessChecks measures the Lemma-7 + isolation witness pair on
+// the reusable fault.Scratch (the E8 survival hot path), n=16.
+func BenchmarkWitnessChecks(b *testing.B) {
+	nw := benchNetwork(b, 2)
+	inst := fault.NewInstance(nw.G)
+	sc := fault.NewScratch(nw.G)
+	r := rng.New(8)
+	m := fault.Symmetric(0.01)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst.Reinject(m, r)
+		_ = inst.SurvivesBasicChecksWith(sc)
 	}
 }
 

@@ -52,6 +52,11 @@ type Network = core.Network
 // TrialOutcome is the result of one fault-tolerance trial.
 type TrialOutcome = core.TrialOutcome
 
+// Evaluator is the reusable, allocation-free Theorem-2 trial engine: it
+// owns every per-trial buffer (fault instance, repair masks, access
+// checker, pooled router) for one network. Hold one per goroutine.
+type Evaluator = core.Evaluator
+
 // FaultModel holds the per-switch failure probabilities (ε₁, ε₂).
 type FaultModel = fault.Model
 
@@ -96,6 +101,10 @@ func Symmetric(eps float64) FaultModel { return fault.Symmetric(eps) }
 func Inject(g *Graph, m FaultModel, seed uint64) *FaultInstance {
 	return fault.Inject(g, m, rng.New(seed))
 }
+
+// NewEvaluator returns a reusable trial evaluator for nw; repeated
+// Evaluate / EvaluateInto calls allocate nothing in steady state.
+func NewEvaluator(nw *Network) *Evaluator { return core.NewEvaluator(nw) }
 
 // NewRouter returns a greedy circuit router over the fault-free network.
 func NewRouter(g *Graph) *Router { return route.NewRouter(g) }

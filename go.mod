@@ -1,0 +1,3 @@
+module ftcsn
+
+go 1.21

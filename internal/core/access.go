@@ -31,12 +31,20 @@ func (m Masks) edgeAllowed(e int32) bool {
 // RepairMasks derives the traversal masks of the repaired network from a
 // fault instance, per the paper's discard rule.
 func RepairMasks(inst *fault.Instance) Masks {
-	usable := inst.Repair()
-	edgeOK := make([]bool, inst.G.NumEdges())
-	for e := range edgeOK {
-		edgeOK[e] = inst.RepairedEdgeUsable(usable, int32(e))
+	var m Masks
+	RepairMasksInto(inst, &m)
+	return m
+}
+
+// RepairMasksInto is RepairMasks writing into m's existing slices (grown on
+// first use), so per-trial mask derivation allocates nothing in steady
+// state. m.Busy is left untouched.
+func RepairMasksInto(inst *fault.Instance, m *Masks) {
+	m.VertexOK = inst.RepairInto(m.VertexOK)
+	m.EdgeOK = growBools(m.EdgeOK, inst.G.NumEdges())
+	for e := range m.EdgeOK {
+		m.EdgeOK[e] = inst.RepairedEdgeUsable(m.VertexOK, int32(e))
 	}
-	return Masks{VertexOK: usable, EdgeOK: edgeOK}
 }
 
 // AccessChecker performs the access computations of Lemmas 3 and 6:
@@ -172,13 +180,19 @@ type MajorityReport struct {
 // MajorityAccess runs the Lemma-6 / Corollary-2 check for every idle input
 // and output under the given masks.
 func (nw *Network) MajorityAccess(ac *AccessChecker, m Masks) MajorityReport {
+	var rep MajorityReport
+	nw.MajorityAccessInto(ac, m, &rep)
+	return rep
+}
+
+// MajorityAccessInto is MajorityAccess writing into rep, reusing its access
+// slices across calls so repeated certification allocates nothing.
+func (nw *Network) MajorityAccessInto(ac *AccessChecker, m Masks, rep *MajorityReport) {
 	mid := nw.MiddleStage
-	rep := MajorityReport{
-		MiddleSize:   int(nw.StageSize[mid]),
-		InputAccess:  make([]int, len(nw.Inputs())),
-		OutputAccess: make([]int, len(nw.Outputs())),
-		OK:           true,
-	}
+	rep.MiddleSize = int(nw.StageSize[mid])
+	rep.InputAccess = growInts(rep.InputAccess, len(nw.Inputs()))
+	rep.OutputAccess = growInts(rep.OutputAccess, len(nw.Outputs()))
+	rep.OK = true
 	need := rep.MiddleSize/2 + 1
 	for i, in := range nw.Inputs() {
 		if m.Busy != nil && m.Busy[in] {
@@ -202,5 +216,21 @@ func (nw *Network) MajorityAccess(ac *AccessChecker, m Masks) MajorityReport {
 			rep.OK = false
 		}
 	}
-	return rep
+}
+
+// growInts resizes s to n elements, reusing capacity when possible.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// growBools is growInts for []bool; the contents are unspecified and must
+// be overwritten by the caller.
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
 }

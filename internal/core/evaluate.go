@@ -51,38 +51,115 @@ func (t TrialOutcome) AvgPathLen() float64 {
 	return float64(t.ChurnPathTotal) / float64(ok)
 }
 
+// Evaluator owns every per-trial buffer of the Theorem-2 pipeline — fault
+// instance, witness scratch, repair masks, access checker, majority report,
+// pooled router, and churn scratch — so repeated trials on one network
+// allocate nothing in steady state. It is the Monte-Carlo fast path: give
+// each worker its own Evaluator (montecarlo.RunBoolWith / RunWith) and call
+// EvaluateInto per trial. An Evaluator is not safe for concurrent use.
+type Evaluator struct {
+	nw    *Network
+	inst  *fault.Instance
+	fsc   *fault.Scratch
+	masks Masks
+	ac    *AccessChecker
+	rep   MajorityReport
+	rt    *route.Router
+	churn ChurnScratch
+	r     rng.RNG
+}
+
+// NewEvaluator returns a reusable trial evaluator for nw.
+func NewEvaluator(nw *Network) *Evaluator {
+	rt := route.NewRouter(nw.G)
+	rt.EnablePathReuse()
+	return &Evaluator{
+		nw:   nw,
+		inst: fault.NewInstance(nw.G),
+		fsc:  fault.NewScratch(nw.G),
+		ac:   NewAccessChecker(nw),
+		rt:   rt,
+	}
+}
+
+// Evaluate runs one trial seeded like Network.Evaluate: switch states and
+// churn randomness both come from rng.New(seed). Results are bit-for-bit
+// identical to Network.Evaluate for the same arguments.
+func (ev *Evaluator) Evaluate(m fault.Model, seed uint64, churnOps int) TrialOutcome {
+	ev.r.Reseed(seed)
+	var out TrialOutcome
+	ev.EvaluateInto(&out, m, &ev.r, churnOps)
+	return out
+}
+
+// EvaluateInto runs one trial with caller-supplied randomness, writing the
+// outcome into out. It redraws the evaluator's fault instance in place,
+// repairs, certifies, and (for churnOps > 0) drives greedy churn on the
+// evaluator's pooled router — all without allocating.
+func (ev *Evaluator) EvaluateInto(out *TrialOutcome, m fault.Model, r *rng.RNG, churnOps int) {
+	fault.InjectInto(ev.inst, m, r)
+	ev.evaluateInst(ev.inst, churnOps, r, out)
+}
+
+// EvaluateCertificateInto runs inject → discard repair → majority-access
+// certificate only, skipping the Lemma-7 shorting witness and churn — the
+// fast path for experiments that read just the certificate fields (E5, the
+// E10 ablations). Shorted is reported false and Success reflects only the
+// certificate.
+func (ev *Evaluator) EvaluateCertificateInto(out *TrialOutcome, m fault.Model, r *rng.RNG) {
+	fault.InjectInto(ev.inst, m, r)
+	*out = TrialOutcome{
+		FailedSwitches: ev.inst.NumFailed(),
+		OpenSwitches:   ev.inst.NumOpen(),
+		ClosedSwitches: ev.inst.NumClosed(),
+	}
+	RepairMasksInto(ev.inst, &ev.masks)
+	ev.nw.MajorityAccessInto(ev.ac, ev.masks, &ev.rep)
+	out.MajorityAccess = ev.rep.OK
+	out.MinInputAccess = minOf(ev.rep.InputAccess)
+	out.MinOutputAccess = minOf(ev.rep.OutputAccess)
+	out.Success = out.MajorityAccess
+}
+
+// evaluateInst is the shared post-injection pipeline; inst must be over the
+// evaluator's own graph (its buffers are sized for it).
+func (ev *Evaluator) evaluateInst(inst *fault.Instance, churnOps int, r *rng.RNG, out *TrialOutcome) {
+	*out = TrialOutcome{
+		FailedSwitches: inst.NumFailed(),
+		OpenSwitches:   inst.NumOpen(),
+		ClosedSwitches: inst.NumClosed(),
+	}
+	if a, _ := inst.ShortedTerminalsWith(ev.fsc); a >= 0 {
+		out.Shorted = true
+	}
+	RepairMasksInto(inst, &ev.masks)
+	ev.nw.MajorityAccessInto(ev.ac, ev.masks, &ev.rep)
+	out.MajorityAccess = ev.rep.OK
+	out.MinInputAccess = minOf(ev.rep.InputAccess)
+	out.MinOutputAccess = minOf(ev.rep.OutputAccess)
+
+	if churnOps > 0 {
+		ev.rt.SetMasks(ev.masks.VertexOK, ev.masks.EdgeOK)
+		out.ChurnConnects, out.ChurnFailures, out.ChurnPathTotal =
+			ChurnWith(ev.rt, ev.nw.Inputs(), ev.nw.Outputs(), churnOps, r, &ev.churn)
+	}
+	out.Success = !out.Shorted && out.MajorityAccess && out.ChurnFailures == 0
+}
+
 // Evaluate runs one trial: draw switch states from model m with the given
 // seed, repair, verify, and run churnOps random connect/disconnect
-// operations. churnOps = 0 skips the routing phase.
+// operations. churnOps = 0 skips the routing phase. It is a convenience
+// wrapper that builds a one-shot Evaluator; Monte-Carlo loops should hold
+// an Evaluator per worker and call EvaluateInto instead.
 func (nw *Network) Evaluate(m fault.Model, seed uint64, churnOps int) TrialOutcome {
-	r := rng.New(seed)
-	inst := fault.Inject(nw.G, m, r)
-	return nw.EvaluateInstance(inst, churnOps, r)
+	return NewEvaluator(nw).Evaluate(m, seed, churnOps)
 }
 
 // EvaluateInstance is Evaluate for a pre-drawn fault instance; churn
 // randomness comes from r.
 func (nw *Network) EvaluateInstance(inst *fault.Instance, churnOps int, r *rng.RNG) TrialOutcome {
-	out := TrialOutcome{
-		FailedSwitches: inst.NumFailed(),
-		OpenSwitches:   inst.NumOpen(),
-		ClosedSwitches: inst.NumClosed(),
-	}
-	if a, _ := inst.ShortedTerminals(); a >= 0 {
-		out.Shorted = true
-	}
-	masks := RepairMasks(inst)
-	ac := NewAccessChecker(nw)
-	rep := nw.MajorityAccess(ac, masks)
-	out.MajorityAccess = rep.OK
-	out.MinInputAccess = minOf(rep.InputAccess)
-	out.MinOutputAccess = minOf(rep.OutputAccess)
-
-	if churnOps > 0 {
-		rt := route.NewRepairedRouter(inst)
-		out.ChurnConnects, out.ChurnFailures, out.ChurnPathTotal = Churn(rt, nw.Inputs(), nw.Outputs(), churnOps, r)
-	}
-	out.Success = !out.Shorted && out.MajorityAccess && out.ChurnFailures == 0
+	var out TrialOutcome
+	NewEvaluator(nw).evaluateInst(inst, churnOps, r, &out)
 	return out
 }
 
@@ -99,6 +176,16 @@ func minOf(xs []int) int {
 	return m
 }
 
+type churnCircuit struct{ in, out int32 }
+
+// ChurnScratch holds the request-generator state Churn reuses across
+// trials: the live-circuit list and the idle terminal pools.
+type ChurnScratch struct {
+	live    []churnCircuit
+	idleIn  []int32
+	idleOut []int32
+}
+
 // Churn drives a router with ops random operations: with probability 1/2
 // (or always, when no circuit exists; never, when all terminals are busy)
 // it connects a uniformly chosen idle input to a uniformly chosen idle
@@ -108,16 +195,22 @@ func minOf(xs []int) int {
 // strictly-nonblocking test: on a strictly nonblocking network failures
 // must be zero regardless of the request sequence.
 func Churn(rt *route.Router, inputs, outputs []int32, ops int, r *rng.RNG) (connects, failures, pathTotal int) {
-	type circuit struct{ in, out int32 }
-	var live []circuit
-	idleIn := append([]int32(nil), inputs...)
-	idleOut := append([]int32(nil), outputs...)
+	var sc ChurnScratch
+	return ChurnWith(rt, inputs, outputs, ops, r, &sc)
+}
+
+// ChurnWith is Churn with caller-owned scratch, allocation-free once the
+// scratch has warmed up.
+func ChurnWith(rt *route.Router, inputs, outputs []int32, ops int, r *rng.RNG, sc *ChurnScratch) (connects, failures, pathTotal int) {
+	sc.live = sc.live[:0]
+	sc.idleIn = append(sc.idleIn[:0], inputs...)
+	sc.idleOut = append(sc.idleOut[:0], outputs...)
 	for op := 0; op < ops; op++ {
-		doConnect := len(live) == 0 || (len(idleIn) > 0 && r.Bernoulli(0.5))
-		if doConnect && len(idleIn) > 0 && len(idleOut) > 0 {
-			ii := r.Intn(len(idleIn))
-			oo := r.Intn(len(idleOut))
-			in, outT := idleIn[ii], idleOut[oo]
+		doConnect := len(sc.live) == 0 || (len(sc.idleIn) > 0 && r.Bernoulli(0.5))
+		if doConnect && len(sc.idleIn) > 0 && len(sc.idleOut) > 0 {
+			ii := r.Intn(len(sc.idleIn))
+			oo := r.Intn(len(sc.idleOut))
+			in, outT := sc.idleIn[ii], sc.idleOut[oo]
 			connects++
 			path, err := rt.Connect(in, outT)
 			if err != nil {
@@ -125,20 +218,20 @@ func Churn(rt *route.Router, inputs, outputs []int32, ops int, r *rng.RNG) (conn
 				continue
 			}
 			pathTotal += len(path) - 1
-			idleIn[ii] = idleIn[len(idleIn)-1]
-			idleIn = idleIn[:len(idleIn)-1]
-			idleOut[oo] = idleOut[len(idleOut)-1]
-			idleOut = idleOut[:len(idleOut)-1]
-			live = append(live, circuit{in, outT})
-		} else if len(live) > 0 {
-			ci := r.Intn(len(live))
-			c := live[ci]
+			sc.idleIn[ii] = sc.idleIn[len(sc.idleIn)-1]
+			sc.idleIn = sc.idleIn[:len(sc.idleIn)-1]
+			sc.idleOut[oo] = sc.idleOut[len(sc.idleOut)-1]
+			sc.idleOut = sc.idleOut[:len(sc.idleOut)-1]
+			sc.live = append(sc.live, churnCircuit{in, outT})
+		} else if len(sc.live) > 0 {
+			ci := r.Intn(len(sc.live))
+			c := sc.live[ci]
 			if err := rt.Disconnect(c.in, c.out); err == nil {
-				idleIn = append(idleIn, c.in)
-				idleOut = append(idleOut, c.out)
+				sc.idleIn = append(sc.idleIn, c.in)
+				sc.idleOut = append(sc.idleOut, c.out)
 			}
-			live[ci] = live[len(live)-1]
-			live = live[:len(live)-1]
+			sc.live[ci] = sc.live[len(sc.live)-1]
+			sc.live = sc.live[:len(sc.live)-1]
 		}
 	}
 	return connects, failures, pathTotal

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"ftcsn/internal/fault"
+	"ftcsn/internal/rng"
+)
+
+func buildSmall(t testing.TB) *Network {
+	t.Helper()
+	nw, err := Build(DefaultParams(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// TestEvaluatorMatchesNetworkEvaluate: the reusable evaluator must be
+// bit-for-bit compatible with the legacy one-shot pipeline, including the
+// churn phase, across many seeds on one shared evaluator.
+func TestEvaluatorMatchesNetworkEvaluate(t *testing.T) {
+	nw := buildSmall(t)
+	ev := NewEvaluator(nw)
+	m := fault.Symmetric(0.01)
+	for seed := uint64(0); seed < 40; seed++ {
+		want := nw.Evaluate(m, seed, 80)
+		got := ev.Evaluate(m, seed, 80)
+		if got != want {
+			t.Fatalf("seed %d: evaluator %+v != legacy %+v", seed, got, want)
+		}
+	}
+}
+
+// TestEvaluatorAllocFree: steady-state trials on a warmed evaluator —
+// injection, repair, certificate, and churn — must not allocate.
+func TestEvaluatorAllocFree(t *testing.T) {
+	nw := buildSmall(t)
+	ev := NewEvaluator(nw)
+	m := fault.Symmetric(0.005)
+	var out TrialOutcome
+	var r rng.RNG
+	seed := uint64(0)
+	trial := func() {
+		r.Reseed(seed)
+		ev.EvaluateInto(&out, m, &r, 60)
+	}
+	for ; seed < 30; seed++ {
+		trial()
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		seed++
+		trial()
+	})
+	if avg > 0 {
+		t.Fatalf("Evaluator trial allocates %.2f allocs/op in steady state, want 0", avg)
+	}
+}
+
+// TestEvaluatorCertifiesFaultFree: with ε=0 every certificate holds and
+// churn never blocks.
+func TestEvaluatorCertifiesFaultFree(t *testing.T) {
+	nw := buildSmall(t)
+	ev := NewEvaluator(nw)
+	out := ev.Evaluate(fault.Symmetric(0), 1, 200)
+	if !out.Success || !out.MajorityAccess || out.Shorted || out.ChurnFailures != 0 {
+		t.Fatalf("fault-free trial failed: %+v", out)
+	}
+	if out.FailedSwitches != 0 {
+		t.Fatalf("fault-free trial reported %d failures", out.FailedSwitches)
+	}
+}
+
+// TestChurnWithMatchesChurn: the scratch variant of churn reproduces the
+// allocating one exactly (same RNG consumption, same decisions).
+func TestChurnWithMatchesChurn(t *testing.T) {
+	nw := buildSmall(t)
+	ev1 := NewEvaluator(nw)
+	ev2 := NewEvaluator(nw)
+	// Drive both through identical fault draws, then compare churn stats.
+	m := fault.Symmetric(0.002)
+	for seed := uint64(0); seed < 10; seed++ {
+		a := ev1.Evaluate(m, seed, 150)
+		b := ev2.Evaluate(m, seed, 150)
+		if a != b {
+			t.Fatalf("seed %d: evaluator runs diverge: %+v vs %+v", seed, a, b)
+		}
+	}
+}
+
+// TestRepairMasksIntoMatches cross-checks the in-place mask builder.
+func TestRepairMasksIntoMatches(t *testing.T) {
+	nw := buildSmall(t)
+	inst := fault.NewInstance(nw.G)
+	var m Masks
+	var r rng.RNG
+	for i := 0; i < 30; i++ {
+		r.ReseedStream(3, uint64(i))
+		fault.InjectInto(inst, fault.Symmetric(0.02), &r)
+		RepairMasksInto(inst, &m)
+		want := RepairMasks(inst)
+		for v := range want.VertexOK {
+			if m.VertexOK[v] != want.VertexOK[v] {
+				t.Fatalf("trial %d: VertexOK[%d] mismatch", i, v)
+			}
+		}
+		for e := range want.EdgeOK {
+			if m.EdgeOK[e] != want.EdgeOK[e] {
+				t.Fatalf("trial %d: EdgeOK[%d] mismatch", i, e)
+			}
+		}
+	}
+}

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"ftcsn/internal/benes"
-	"ftcsn/internal/fault"
 	"ftcsn/internal/graph"
 	"ftcsn/internal/hammock"
 	"ftcsn/internal/montecarlo"
@@ -38,10 +37,10 @@ func E11Substitution(mode Mode) Result {
 	depthSub, _ := sub.Depth()
 
 	measure := func(g *graph.Graph, eps float64, seed uint64) float64 {
-		p := montecarlo.RunBool(montecarlo.Config{Trials: trialsN, Seed: seed},
-			func(r *rng.RNG) bool {
-				inst := fault.Inject(g, fault.Symmetric(eps), r)
-				return inst.SurvivesBasicChecks()
+		p := montecarlo.RunBoolWith(montecarlo.Config{Trials: trialsN, Seed: seed},
+			witnessScratchFor(g),
+			func(r *rng.RNG, s *witnessScratch) bool {
+				return s.reinject(eps, r).SurvivesBasicChecksWith(s.sc)
 			})
 		return p.Estimate()
 	}

@@ -58,12 +58,15 @@ func E1MooreShannon(mode Mode) Result {
 	if err == nil {
 		trialsN := mode.trials(2000, 20000)
 		inst := fault.NewInstance(a.Net.G)
+		fsc := fault.NewScratch(a.Net.G)
+		var r rng.RNG
 		var opens, shorts stats.Proportion
 		for i := 0; i < trialsN; i++ {
-			inst.Reinject(fault.Symmetric(eps), rng.Stream(0xE1, uint64(i)))
-			in, _ := inst.IsolatedPair()
+			r.ReseedStream(0xE1, uint64(i))
+			inst.Reinject(fault.Symmetric(eps), &r)
+			in, _ := inst.IsolatedPairWith(fsc)
 			opens.Add(in >= 0)
-			x, _ := inst.ShortedTerminals()
+			x, _ := inst.ShortedTerminalsWith(fsc)
 			shorts.Add(x >= 0)
 		}
 		mc := stats.NewTable("quantity", "measured (95% Wilson)", "target ε′")
@@ -154,23 +157,36 @@ func E3GridAccess(mode Mode) Result {
 	if mode == Quick {
 		ls = []int{4, 8, 16}
 	}
+	// Worker-local scratch: reusable instance, faulty mask, and a predicate
+	// closure created once per worker (not per trial).
+	type gridScratch struct {
+		inst   *fault.Instance
+		faulty []bool
+		alive  func(v int32) bool
+	}
 	for _, l := range ls {
 		for _, eps := range []float64{0.02, 0.05} {
 			an := hammock.NewAccessNetwork(l, 8, true)
 			need := l/2 + 1
-			p := montecarlo.RunBool(montecarlo.Config{Trials: trialsN, Seed: uint64(0xE30000 + l*100)},
-				func(r *rng.RNG) bool {
-					inst := fault.Inject(an.G, fault.Symmetric(eps), r)
-					faulty := inst.FaultyVertices()
-					got := an.LastStageAccess(func(v int32) bool { return !faulty[v] })
-					return got >= need
-				})
-			frac := montecarlo.RunSample(montecarlo.Config{Trials: trialsN / 4, Seed: uint64(0xE31000 + l*100)},
-				func(r *rng.RNG) float64 {
-					inst := fault.Inject(an.G, fault.Symmetric(eps), r)
-					faulty := inst.FaultyVertices()
-					return float64(an.LastStageAccess(func(v int32) bool { return !faulty[v] })) / float64(l)
-				})
+			newScratch := func() *gridScratch {
+				s := &gridScratch{
+					inst:   fault.NewInstance(an.G),
+					faulty: make([]bool, an.G.NumVertices()),
+				}
+				s.alive = func(v int32) bool { return !s.faulty[v] }
+				return s
+			}
+			access := func(r *rng.RNG, s *gridScratch) int {
+				fault.InjectInto(s.inst, fault.Symmetric(eps), r)
+				s.faulty = s.inst.FaultyVerticesInto(s.faulty)
+				return an.LastStageAccess(s.alive)
+			}
+			p := montecarlo.RunBoolWith(montecarlo.Config{Trials: trialsN, Seed: uint64(0xE30000 + l*100)},
+				newScratch,
+				func(r *rng.RNG, s *gridScratch) bool { return access(r, s) >= need })
+			frac := montecarlo.RunSampleWith(montecarlo.Config{Trials: trialsN / 4, Seed: uint64(0xE31000 + l*100)},
+				newScratch,
+				func(r *rng.RNG, s *gridScratch) float64 { return float64(access(r, s)) / float64(l) })
 			tab.AddRow(l, 8, eps, p.Estimate(), 1-p.Estimate(), frac.Mean())
 		}
 	}
@@ -192,6 +208,10 @@ func E4ExpanderFaultTails(mode Mode) Result {
 	}
 	tab := stats.NewTable("t", "d", "ε", "E[frac faulty]", "2dε (analytic)", "P[> 7% faulty]", "e^(−0.06t)")
 	trialsN := mode.trials(500, 5000)
+	type outletScratch struct {
+		inst   *fault.Instance
+		faulty []bool
+	}
 	for _, t := range []int{64, 256, 1024} {
 		for _, eps := range []float64{0.001, 0.005} {
 			d := 3
@@ -199,16 +219,20 @@ func E4ExpanderFaultTails(mode Mode) Result {
 			bip := expander.RandomMatchings(t, d, rng.New(uint64(t)))
 			gb := newBipartiteGraph(bip)
 			threshold := int(0.07 * float64(t))
-			meanS := montecarlo.RunSample(montecarlo.Config{Trials: trialsN, Seed: uint64(0xE40000 + t)},
-				func(r *rng.RNG) float64 {
-					inst := fault.Inject(gb, fault.Symmetric(eps), r)
-					return float64(faultyOutlets(inst, t)) / float64(t)
-				})
-			tail := montecarlo.RunBool(montecarlo.Config{Trials: trialsN, Seed: uint64(0xE41000 + t)},
-				func(r *rng.RNG) bool {
-					inst := fault.Inject(gb, fault.Symmetric(eps), r)
-					return faultyOutlets(inst, t) > threshold
-				})
+			newScratch := func() *outletScratch {
+				return &outletScratch{inst: fault.NewInstance(gb), faulty: make([]bool, gb.NumVertices())}
+			}
+			count := func(r *rng.RNG, s *outletScratch) int {
+				fault.InjectInto(s.inst, fault.Symmetric(eps), r)
+				s.faulty = s.inst.FaultyVerticesInto(s.faulty)
+				return faultyOutlets(s.faulty, t)
+			}
+			meanS := montecarlo.RunSampleWith(montecarlo.Config{Trials: trialsN, Seed: uint64(0xE40000 + t)},
+				newScratch,
+				func(r *rng.RNG, s *outletScratch) float64 { return float64(count(r, s)) / float64(t) })
+			tail := montecarlo.RunBoolWith(montecarlo.Config{Trials: trialsN, Seed: uint64(0xE41000 + t)},
+				newScratch,
+				func(r *rng.RNG, s *outletScratch) bool { return count(r, s) > threshold })
 			tab.AddRow(t, d, eps, meanS.Mean(), 2*float64(d)*eps, tail.Estimate(), math.Exp(-0.06*float64(t)))
 		}
 	}
@@ -233,10 +257,9 @@ func newBipartiteGraph(b *expander.Bipartite) *graph.Graph {
 	return gb.Freeze()
 }
 
-// faultyOutlets counts outlets (vertices t..2t-1) with a failed incident
-// switch.
-func faultyOutlets(inst *fault.Instance, t int) int {
-	faulty := inst.FaultyVertices()
+// faultyOutlets counts outlets (vertices t..2t-1) marked in the faulty
+// mask.
+func faultyOutlets(faulty []bool, t int) int {
 	c := 0
 	for v := t; v < 2*t; v++ {
 		if faulty[v] {

@@ -53,21 +53,25 @@ func E5MajorityAccess(mode Mode) Result {
 			res.Notes = append(res.Notes, fmt.Sprintf("ν=%d: %v", nu, err))
 			continue
 		}
+		mid := float64(nw.StageSize[nw.MiddleStage])
 		for _, eps := range []float64{0.001, 0.005, 0.02} {
-			minFrac := math.Inf(1)
-			pr := montecarlo.RunBool(montecarlo.Config{Trials: trialsN, Seed: uint64(0xE50000 + nu*100)},
-				func(r *rng.RNG) bool {
-					inst := fault.Inject(nw.G, fault.Symmetric(eps), r)
-					masks := core.RepairMasks(inst)
-					ac := core.NewAccessChecker(nw)
-					rep := nw.MajorityAccess(ac, masks)
-					worst := worstAccess(rep)
-					if worst < minFrac {
-						minFrac = worst
+			// Per-worker evaluators and per-worker minima: the extremum is
+			// folded in the worker's scratch and merged afterwards, so no
+			// trial races on shared state.
+			scs := montecarlo.RunWith(montecarlo.Config{Trials: trialsN, Seed: uint64(0xE50000 + nu*100)},
+				evalScratchFor(nw),
+				func(r *rng.RNG, s *evalScratch, _ uint64) {
+					s.ev.EvaluateCertificateInto(&s.out, fault.Symmetric(eps), r)
+					s.trials++
+					if s.out.MajorityAccess {
+						s.maj++
 					}
-					return rep.OK
+					if f := worstOutcomeFrac(s.out, mid); f < s.minFrac {
+						s.minFrac = f
+					}
 				})
-			tab.AddRow(nu, p.N(), p.L(), eps, pr.Estimate(), minFrac)
+			t := mergeEval(scs)
+			tab.AddRow(nu, p.N(), p.L(), eps, ratio(t.maj, t.trials), t.minFrac)
 		}
 	}
 	res.Tables = append(res.Tables, tab)
@@ -77,23 +81,17 @@ func E5MajorityAccess(mode Mode) Result {
 	return res
 }
 
-func worstAccess(rep core.MajorityReport) float64 {
+// worstOutcomeFrac is the worst idle-terminal access fraction recorded in a
+// trial outcome (busy terminals are exempt, reported as -1).
+func worstOutcomeFrac(out core.TrialOutcome, middleSize float64) float64 {
 	worst := math.Inf(1)
-	for _, c := range rep.InputAccess {
-		if c >= 0 {
-			if f := float64(c) / float64(rep.MiddleSize); f < worst {
-				worst = f
-			}
-		}
+	if out.MinInputAccess >= 0 {
+		worst = float64(out.MinInputAccess)
 	}
-	for _, c := range rep.OutputAccess {
-		if c >= 0 {
-			if f := float64(c) / float64(rep.MiddleSize); f < worst {
-				worst = f
-			}
-		}
+	if out.MinOutputAccess >= 0 && float64(out.MinOutputAccess) < worst {
+		worst = float64(out.MinOutputAccess)
 	}
-	return worst
+	return worst / middleSize
 }
 
 // E6TerminalShorting reproduces Lemma 7: the probability that closed
@@ -117,10 +115,10 @@ func E6TerminalShorting(mode Mode) Result {
 		// up another: ≥ 2ν switches... measured exactly:
 		minDist := terminalMinDistance(nw.G)
 		for _, eps := range []float64{0.1, 0.2, 0.3} {
-			pr := montecarlo.RunBool(montecarlo.Config{Trials: trialsN, Seed: uint64(0xE60000 + nu*10)},
-				func(r *rng.RNG) bool {
-					inst := fault.Inject(nw.G, fault.Symmetric(eps), r)
-					a, _ := inst.ShortedTerminals()
+			pr := montecarlo.RunBoolWith(montecarlo.Config{Trials: trialsN, Seed: uint64(0xE60000 + nu*10)},
+				witnessScratchFor(nw.G),
+				func(r *rng.RNG, s *witnessScratch) bool {
+					a, _ := s.reinject(eps, r).ShortedTerminalsWith(s.sc)
 					return a >= 0
 				})
 			tab.AddRow(nu, p.N(), eps, pr.Estimate(), minDist)
@@ -184,20 +182,27 @@ func E7Theorem2(mode Mode) Result {
 		}
 		a := core.Accounting(p)
 		for _, eps := range []float64{0.0005, 0.002, 0.01} {
-			var succ, maj stats.Proportion
-			churnConn, churnFail := 0, 0
-			for i := 0; i < trialsN; i++ {
-				out := nw.Evaluate(fault.Symmetric(eps), uint64(0xE70000+nu*1000+i), 120)
-				succ.Add(out.Success)
-				maj.Add(out.MajorityAccess)
-				churnConn += out.ChurnConnects
-				churnFail += out.ChurnFailures
-			}
-			failRate := 0.0
-			if churnConn > 0 {
-				failRate = float64(churnFail) / float64(churnConn)
-			}
-			pipe.AddRow(nu, p.N(), p.L(), a.Edges, a.Depth, eps, succ.Estimate(), maj.Estimate(), failRate)
+			// Per-worker evaluators; trial i keeps the historical seed
+			// 0xE70000+nu*1000+i so outcomes match the sequential harness
+			// bit-for-bit, only computed in parallel on the fast path.
+			seedBase := uint64(0xE70000 + nu*1000)
+			scs := montecarlo.RunWith(montecarlo.Config{Trials: trialsN, Seed: seedBase},
+				evalScratchFor(nw),
+				func(_ *rng.RNG, s *evalScratch, i uint64) {
+					out := s.ev.Evaluate(fault.Symmetric(eps), seedBase+i, 120)
+					s.trials++
+					if out.Success {
+						s.succ++
+					}
+					if out.MajorityAccess {
+						s.maj++
+					}
+					s.churnConn += out.ChurnConnects
+					s.churnFail += out.ChurnFailures
+				})
+			t := mergeEval(scs)
+			pipe.AddRow(nu, p.N(), p.L(), a.Edges, a.Depth, eps,
+				ratio(t.succ, t.trials), ratio(t.maj, t.trials), ratio(t.churnFail, t.churnConn))
 		}
 	}
 	res.Tables = append(res.Tables, pipe)
@@ -255,10 +260,10 @@ func E8LowerBoundCrossover(mode Mode) Result {
 		n := len(rw.g.Inputs())
 		depth, _ := rw.g.Depth()
 		termDeg := rw.g.OutDegree(rw.g.Inputs()[0])
-		surv := montecarlo.RunBool(montecarlo.Config{Trials: trialsN, Seed: 0xE80000},
-			func(r *rng.RNG) bool {
-				inst := fault.Inject(rw.g, fault.Symmetric(eps), r)
-				return inst.SurvivesBasicChecks()
+		surv := montecarlo.RunBoolWith(montecarlo.Config{Trials: trialsN, Seed: 0xE80000},
+			witnessScratchFor(rw.g),
+			func(r *rng.RNG, s *witnessScratch) bool {
+				return s.reinject(eps, r).SurvivesBasicChecksWith(s.sc)
 			})
 		bound := core.LowerBoundSize(n)
 		tab.AddRow(rw.name, n, rw.g.NumEdges(), depth, termDeg,

@@ -6,6 +6,7 @@ import (
 	"ftcsn/internal/core"
 	"ftcsn/internal/expander"
 	"ftcsn/internal/fault"
+	"ftcsn/internal/montecarlo"
 	"ftcsn/internal/rng"
 	"ftcsn/internal/route"
 	"ftcsn/internal/stats"
@@ -34,21 +35,21 @@ func E9Routing(mode Mode) Result {
 			continue
 		}
 		for _, eps := range []float64{0, 0.002} {
-			connects, blocked, pathTotal := 0, 0, 0
-			for i := 0; i < trialsN; i++ {
-				out := nw.Evaluate(fault.Symmetric(eps), uint64(0xE90000+nu*1000+i), 200)
-				if !out.MajorityAccess {
-					continue // §4's guarantee is conditional on the certificate
-				}
-				connects += out.ChurnConnects
-				blocked += out.ChurnFailures
-				pathTotal += out.ChurnPathTotal
-			}
-			mean := 0.0
-			if connects-blocked > 0 {
-				mean = float64(pathTotal) / float64(connects-blocked)
-			}
-			tab.AddRow(nu, p.N(), eps, trialsN, connects, blocked, mean)
+			seedBase := uint64(0xE90000 + nu*1000)
+			scs := montecarlo.RunWith(montecarlo.Config{Trials: trialsN, Seed: seedBase},
+				evalScratchFor(nw),
+				func(_ *rng.RNG, s *evalScratch, i uint64) {
+					out := s.ev.Evaluate(fault.Symmetric(eps), seedBase+i, 200)
+					if !out.MajorityAccess {
+						return // §4's guarantee is conditional on the certificate
+					}
+					s.churnConn += out.ChurnConnects
+					s.churnFail += out.ChurnFailures
+					s.churnPathTotal += out.ChurnPathTotal
+				})
+			t := mergeEval(scs)
+			mean := ratio(t.churnPathTotal, t.churnConn-t.churnFail)
+			tab.AddRow(nu, p.N(), eps, trialsN, t.churnConn, t.churnFail, mean)
 		}
 	}
 	res.Tables = append(res.Tables, tab)
@@ -66,8 +67,9 @@ func E9Routing(mode Mode) Result {
 			reqs[i] = route.Request{In: nw.Inputs()[i], Out: nw.Outputs()[perm[i]]}
 		}
 		rounds := mode.trials(30, 200)
-		// Sequential baseline.
+		// Sequential baseline, on the pooled (allocation-free) fast path.
 		rt := route.NewRouter(nw.G)
+		rt.EnablePathReuse()
 		start := time.Now()
 		done := 0
 		for rep := 0; rep < rounds; rep++ {
@@ -176,14 +178,23 @@ func E10Ablations(mode Mode) Result {
 	p := scaledParams(2)
 	nw, err := core.Build(p)
 	if err == nil {
+		// All per-trial buffers are hoisted and reused across the loop.
+		inst := fault.NewInstance(nw.G)
+		ac := core.NewAccessChecker(nw)
+		var paperMasks, edgeOnly core.Masks
+		var repOut core.MajorityReport
+		var r rng.RNG
 		for _, e := range []float64{0.005, 0.02} {
 			var majPaper, majEdges, unsound stats.Proportion
 			for i := 0; i < trialsN; i++ {
-				inst := fault.Inject(nw.G, fault.Symmetric(e), rng.Stream(0xEE, uint64(i)+uint64(e*1e6)))
-				ac := core.NewAccessChecker(nw)
-				majPaper.Add(nw.MajorityAccess(ac, core.RepairMasks(inst)).OK)
-				edgeOnly := edgesOnlyMasks(inst)
-				majEdges.Add(nw.MajorityAccess(ac, edgeOnly).OK)
+				r.ReseedStream(0xEE, uint64(i)+uint64(e*1e6))
+				fault.InjectInto(inst, fault.Symmetric(e), &r)
+				core.RepairMasksInto(inst, &paperMasks)
+				nw.MajorityAccessInto(ac, paperMasks, &repOut)
+				majPaper.Add(repOut.OK)
+				edgesOnlyMasksInto(inst, &edgeOnly)
+				nw.MajorityAccessInto(ac, edgeOnly, &repOut)
+				majEdges.Add(repOut.OK)
 				unsound.Add(hasUsableClosedMerge(inst))
 			}
 			rep.AddRow("discard neighbors (paper)", e, majPaper.Estimate(), 0.0)
@@ -200,32 +211,37 @@ func E10Ablations(mode Mode) Result {
 }
 
 func montecarloMajority(nw *core.Network, eps float64, trials int, seed uint64) float64 {
-	var pr stats.Proportion
-	for i := 0; i < trials; i++ {
-		inst := fault.Inject(nw.G, fault.Symmetric(eps), rng.Stream(seed, uint64(i)))
-		ac := core.NewAccessChecker(nw)
-		pr.Add(nw.MajorityAccess(ac, core.RepairMasks(inst)).OK)
-	}
+	pr := montecarlo.RunBoolWith(montecarlo.Config{Trials: trials, Seed: seed},
+		evalScratchFor(nw),
+		func(r *rng.RNG, s *evalScratch) bool {
+			s.ev.EvaluateCertificateInto(&s.out, fault.Symmetric(eps), r)
+			return s.out.MajorityAccess
+		})
 	return pr.Estimate()
 }
 
 func montecarloSurvive(nw *core.Network, eps float64, trials int, seed uint64) float64 {
-	var pr stats.Proportion
-	for i := 0; i < trials; i++ {
-		inst := fault.Inject(nw.G, fault.Symmetric(eps), rng.Stream(seed, uint64(i)))
-		pr.Add(inst.SurvivesBasicChecks())
-	}
+	pr := montecarlo.RunBoolWith(montecarlo.Config{Trials: trials, Seed: seed},
+		witnessScratchFor(nw.G),
+		func(r *rng.RNG, s *witnessScratch) bool {
+			return s.reinject(eps, r).SurvivesBasicChecksWith(s.sc)
+		})
 	return pr.Estimate()
 }
 
-// edgesOnlyMasks is the naive repair: drop failed switches but keep their
-// endpoint vertices usable.
-func edgesOnlyMasks(inst *fault.Instance) core.Masks {
-	edgeOK := make([]bool, inst.G.NumEdges())
-	for e := range edgeOK {
-		edgeOK[e] = inst.Edge[e] == fault.Normal
+// edgesOnlyMasksInto is the naive repair: drop failed switches but keep
+// their endpoint vertices usable. It reuses m's edge mask.
+func edgesOnlyMasksInto(inst *fault.Instance, m *core.Masks) {
+	nE := inst.G.NumEdges()
+	if cap(m.EdgeOK) < nE {
+		m.EdgeOK = make([]bool, nE)
+	} else {
+		m.EdgeOK = m.EdgeOK[:nE]
 	}
-	return core.Masks{EdgeOK: edgeOK}
+	for e := range m.EdgeOK {
+		m.EdgeOK[e] = inst.Edge[e] == fault.Normal
+	}
+	m.VertexOK = nil
 }
 
 // hasUsableClosedMerge reports whether some closed switch has both

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"math"
+
+	"ftcsn/internal/core"
+	"ftcsn/internal/fault"
+	"ftcsn/internal/graph"
+	"ftcsn/internal/rng"
+)
+
+// witnessScratch is the worker-local state for experiments that only need
+// fault injection plus the paper's failure witnesses: one reusable fault
+// instance and one witness-check scratch per Monte-Carlo worker.
+type witnessScratch struct {
+	inst *fault.Instance
+	sc   *fault.Scratch
+}
+
+// witnessScratchFor returns a constructor suitable for
+// montecarlo.RunBoolWith over graph g.
+func witnessScratchFor(g *graph.Graph) func() *witnessScratch {
+	return func() *witnessScratch {
+		return &witnessScratch{inst: fault.NewInstance(g), sc: fault.NewScratch(g)}
+	}
+}
+
+// reinject redraws the worker's instance under the symmetric model.
+func (s *witnessScratch) reinject(eps float64, r *rng.RNG) *fault.Instance {
+	fault.InjectInto(s.inst, fault.Symmetric(eps), r)
+	return s.inst
+}
+
+// evalScratch is the worker-local state for experiments that run the full
+// Theorem-2 pipeline: a core.Evaluator (owning instance, masks, checker,
+// router, churn buffers) plus the per-worker accumulators the experiments
+// fold into. Accumulators merge by summation / extremum, so reductions are
+// order-insensitive regardless of how trials land on workers.
+type evalScratch struct {
+	ev  *core.Evaluator
+	out core.TrialOutcome
+
+	// accumulators
+	succ, maj            int
+	trials               int
+	churnConn, churnFail int
+	churnPathTotal       int
+	minFrac              float64
+}
+
+func evalScratchFor(nw *core.Network) func() *evalScratch {
+	return func() *evalScratch {
+		return &evalScratch{ev: core.NewEvaluator(nw), minFrac: math.Inf(1)}
+	}
+}
+
+// mergeEval folds per-worker accumulators into one; nil entries (workers
+// that never started, e.g. when Trials is 0) are skipped.
+func mergeEval(scs []*evalScratch) evalScratch {
+	total := evalScratch{minFrac: math.Inf(1)}
+	for _, s := range scs {
+		if s == nil {
+			continue
+		}
+		total.trials += s.trials
+		total.succ += s.succ
+		total.maj += s.maj
+		total.churnConn += s.churnConn
+		total.churnFail += s.churnFail
+		total.churnPathTotal += s.churnPathTotal
+		if s.minFrac < total.minFrac {
+			total.minFrac = s.minFrac
+		}
+	}
+	return total
+}
+
+// ratio returns num/den, or 0 for an empty denominator.
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

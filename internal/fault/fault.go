@@ -94,13 +94,25 @@ func Inject(g *graph.Graph, m Model, r *rng.RNG) *Instance {
 	return inst
 }
 
-// Reinject redraws all switch states in place. When ε₁+ε₂ is small it skips
-// healthy runs geometrically, visiting only failed switches.
-func (inst *Instance) Reinject(m Model, r *rng.RNG) {
+// InjectInto redraws inst's switch states in place under model m — the
+// allocation-free counterpart of Inject for Monte-Carlo loops that own a
+// reusable instance.
+func InjectInto(inst *Instance, m Model, r *rng.RNG) {
+	inst.Reinject(m, r)
+}
+
+// Reset returns the instance to the fault-free state, reusing its storage.
+func (inst *Instance) Reset() {
 	for i := range inst.Edge {
 		inst.Edge[i] = Normal
 	}
 	inst.opens, inst.closes = 0, 0
+}
+
+// Reinject redraws all switch states in place. When ε₁+ε₂ is small it skips
+// healthy runs geometrically, visiting only failed switches.
+func (inst *Instance) Reinject(m Model, r *rng.RNG) {
+	inst.Reset()
 	p := m.OpenProb + m.ClosedProb
 	if p <= 0 {
 		return
@@ -169,7 +181,17 @@ func (inst *Instance) SetState(e int32, s State) {
 // failed switch. Terminals are included in the mask if they qualify; the
 // repair rule (see Repair) is what exempts terminals from being discarded.
 func (inst *Instance) FaultyVertices() []bool {
-	faulty := make([]bool, inst.G.NumVertices())
+	return inst.FaultyVerticesInto(nil)
+}
+
+// FaultyVerticesInto is FaultyVertices writing into faulty, which is grown
+// if needed and returned; passing the previous trial's slice makes the call
+// allocation-free.
+func (inst *Instance) FaultyVerticesInto(faulty []bool) []bool {
+	faulty = growBools(faulty, inst.G.NumVertices())
+	for i := range faulty {
+		faulty[i] = false
+	}
 	for e, s := range inst.Edge {
 		if s != Normal {
 			faulty[inst.G.EdgeFrom(int32(e))] = true
@@ -185,7 +207,14 @@ func (inst *Instance) FaultyVertices() []bool {
 // the repaired network must additionally traverse only Normal switches —
 // RepairedEdgeUsable captures both conditions.
 func (inst *Instance) Repair() []bool {
-	usable := make([]bool, inst.G.NumVertices())
+	return inst.RepairInto(nil)
+}
+
+// RepairInto is Repair writing into usable, which is grown if needed and
+// returned; passing the previous trial's slice makes the call
+// allocation-free.
+func (inst *Instance) RepairInto(usable []bool) []bool {
+	usable = growBools(usable, inst.G.NumVertices())
 	for i := range usable {
 		usable[i] = true
 	}
@@ -212,52 +241,121 @@ func (inst *Instance) RepairedEdgeUsable(usable []bool, e int32) bool {
 	return inst.Edge[e] == Normal && usable[inst.G.EdgeFrom(e)] && usable[inst.G.EdgeTo(e)]
 }
 
+// growBools resizes s to n elements, reusing capacity when possible; the
+// contents are unspecified and must be overwritten by the caller.
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+// Scratch holds every reusable buffer the failure-witness checks need:
+// a disjoint-set forest for closed-switch contraction, an epoch-stamped
+// terminal-owner table (replacing a per-call map), and epoch-stamped BFS
+// state for conductive reachability. One Scratch serves one goroutine's
+// trials; give each Monte-Carlo worker its own via montecarlo.RunBoolWith.
+type Scratch struct {
+	dsu *unionfind.DSU
+
+	// owner[root] is the terminal that first claimed component root during
+	// the current ShortedTerminalsWith call; valid iff ownerEpoch[root]
+	// equals ownerCur. The epoch bump replaces clearing (the reachScratch
+	// idiom), so the check is O(#terminals α(n)) with zero allocation.
+	owner      []int32
+	ownerEpoch []uint32
+	ownerCur   uint32
+
+	reach reachScratch
+}
+
+// NewScratch returns witness-check scratch sized for g.
+func NewScratch(g *graph.Graph) *Scratch {
+	n := g.NumVertices()
+	return &Scratch{
+		dsu:        unionfind.New(n),
+		owner:      make([]int32, n),
+		ownerEpoch: make([]uint32, n),
+		reach:      newReachScratch(n),
+	}
+}
+
 // ShortedTerminals detects Lemma 7's failure event: it returns a pair of
 // distinct terminals that are contracted into a single electrical node by a
 // chain of closed switches, or (-1, -1) if no such pair exists.
 func (inst *Instance) ShortedTerminals() (a, b int32) {
-	d := unionfind.New(inst.G.NumVertices())
+	return inst.ShortedTerminalsWith(NewScratch(inst.G))
+}
+
+// ShortedTerminalsWith is ShortedTerminals using caller-owned scratch; it
+// allocates nothing.
+func (inst *Instance) ShortedTerminalsWith(sc *Scratch) (a, b int32) {
+	sc.dsu.Reset()
 	for e, s := range inst.Edge {
 		if s == Closed {
-			d.Union(int(inst.G.EdgeFrom(int32(e))), int(inst.G.EdgeTo(int32(e))))
+			sc.dsu.Union(int(inst.G.EdgeFrom(int32(e))), int(inst.G.EdgeTo(int32(e))))
 		}
 	}
-	owner := make(map[int]int32)
-	check := func(terms []int32) (int32, int32) {
-		for _, t := range terms {
-			root := d.Find(int(t))
-			if prev, ok := owner[root]; ok {
-				return prev, t
-			}
-			owner[root] = t
+	sc.bumpOwnerEpoch()
+	if x, y := sc.claimTerminals(inst.G.Inputs()); x >= 0 {
+		return x, y
+	}
+	return sc.claimTerminals(inst.G.Outputs())
+}
+
+// bumpOwnerEpoch starts a fresh owner table in O(1) (O(n) only on the
+// ~4-billion-call wraparound).
+func (sc *Scratch) bumpOwnerEpoch() {
+	sc.ownerCur++
+	if sc.ownerCur == 0 {
+		for i := range sc.ownerEpoch {
+			sc.ownerEpoch[i] = 0
 		}
-		return -1, -1
+		sc.ownerCur = 1
 	}
-	if x, y := check(inst.G.Inputs()); x >= 0 {
-		return x, y
-	}
-	if x, y := check(inst.G.Outputs()); x >= 0 {
-		return x, y
+}
+
+// claimTerminals assigns each terminal's component root to it, returning
+// the first pair of terminals found sharing a root.
+func (sc *Scratch) claimTerminals(terms []int32) (int32, int32) {
+	for _, t := range terms {
+		root := sc.dsu.Find(int(t))
+		if sc.ownerEpoch[root] == sc.ownerCur {
+			return sc.owner[root], t
+		}
+		sc.ownerEpoch[root] = sc.ownerCur
+		sc.owner[root] = t
 	}
 	return -1, -1
 }
 
-// reachScratch holds reusable BFS buffers for connectivity checks.
+// reachScratch holds reusable, epoch-stamped BFS buffers for connectivity
+// checks: seen[v] == epoch marks v visited in the current search, so resets
+// are O(1) instead of O(n).
 type reachScratch struct {
-	seen  []bool
+	seen  []uint32
+	epoch uint32
 	queue []int32
 }
 
-func newScratch(n int) *reachScratch {
-	return &reachScratch{seen: make([]bool, n), queue: make([]int32, 0, 256)}
+func newReachScratch(n int) reachScratch {
+	return reachScratch{seen: make([]uint32, n), queue: make([]int32, 0, 256)}
 }
 
 func (sc *reachScratch) reset() {
-	for i := range sc.seen {
-		sc.seen[i] = false
+	sc.epoch++
+	if sc.epoch == 0 {
+		for i := range sc.seen {
+			sc.seen[i] = 0
+		}
+		sc.epoch = 1
 	}
 	sc.queue = sc.queue[:0]
 }
+
+func (sc *reachScratch) saw(v int32) bool { return sc.seen[v] == sc.epoch }
+
+func (sc *reachScratch) mark(v int32) { sc.seen[v] = sc.epoch }
 
 // conductiveReach marks in sc.seen every vertex reachable from src in the
 // contracted graph: normal switches are traversed in their direction and
@@ -265,7 +363,7 @@ func (sc *reachScratch) reset() {
 // into one node, so it conducts both ways). Open switches are gone.
 func (inst *Instance) conductiveReach(src int32, sc *reachScratch) {
 	sc.reset()
-	sc.seen[src] = true
+	sc.mark(src)
 	sc.queue = append(sc.queue, src)
 	g := inst.G
 	for len(sc.queue) > 0 {
@@ -275,8 +373,8 @@ func (inst *Instance) conductiveReach(src int32, sc *reachScratch) {
 			if inst.Edge[e] == Open {
 				continue
 			}
-			if w := g.EdgeTo(e); !sc.seen[w] {
-				sc.seen[w] = true
+			if w := g.EdgeTo(e); !sc.saw(w) {
+				sc.mark(w)
 				sc.queue = append(sc.queue, w)
 			}
 		}
@@ -284,8 +382,8 @@ func (inst *Instance) conductiveReach(src int32, sc *reachScratch) {
 			if inst.Edge[e] != Closed {
 				continue
 			}
-			if w := g.EdgeFrom(e); !sc.seen[w] {
-				sc.seen[w] = true
+			if w := g.EdgeFrom(e); !sc.saw(w) {
+				sc.mark(w)
 				sc.queue = append(sc.queue, w)
 			}
 		}
@@ -299,11 +397,16 @@ func (inst *Instance) conductiveReach(src int32, sc *reachScratch) {
 // n-superconcentrator, hence a necessary condition for all three network
 // classes of the paper.
 func (inst *Instance) IsolatedPair() (in, out int32) {
-	sc := newScratch(inst.G.NumVertices())
+	return inst.IsolatedPairWith(NewScratch(inst.G))
+}
+
+// IsolatedPairWith is IsolatedPair using caller-owned scratch; it allocates
+// nothing in steady state.
+func (inst *Instance) IsolatedPairWith(sc *Scratch) (in, out int32) {
 	for _, src := range inst.G.Inputs() {
-		inst.conductiveReach(src, sc)
+		inst.conductiveReach(src, &sc.reach)
 		for _, dst := range inst.G.Outputs() {
-			if !sc.seen[dst] {
+			if !sc.reach.saw(dst) {
 				return src, dst
 			}
 		}
@@ -317,10 +420,15 @@ func (inst *Instance) IsolatedPair() (in, out int32) {
 // baseline networks in experiment E8; the full sufficient verification for
 // Network 𝒩 lives in package core.
 func (inst *Instance) SurvivesBasicChecks() bool {
-	if a, _ := inst.ShortedTerminals(); a >= 0 {
+	return inst.SurvivesBasicChecksWith(NewScratch(inst.G))
+}
+
+// SurvivesBasicChecksWith is SurvivesBasicChecks using caller-owned scratch.
+func (inst *Instance) SurvivesBasicChecksWith(sc *Scratch) bool {
+	if a, _ := inst.ShortedTerminalsWith(sc); a >= 0 {
 		return false
 	}
-	if a, _ := inst.IsolatedPair(); a >= 0 {
+	if a, _ := inst.IsolatedPairWith(sc); a >= 0 {
 		return false
 	}
 	return true

@@ -34,9 +34,26 @@ func (c Config) workers() int {
 // RunBool estimates P[trial] over cfg.Trials independent trials and
 // returns the success proportion.
 func RunBool(cfg Config, trial func(r *rng.RNG) bool) stats.Proportion {
+	return RunBoolWith(cfg, func() struct{} { return struct{}{} },
+		func(r *rng.RNG, _ struct{}) bool { return trial(r) })
+}
+
+// RunSample accumulates a numeric statistic over cfg.Trials trials.
+func RunSample(cfg Config, trial func(r *rng.RNG) float64) stats.Sample {
+	return RunSampleWith(cfg, func() struct{} { return struct{}{} },
+		func(r *rng.RNG, _ struct{}) float64 { return trial(r) })
+}
+
+// RunBoolWith is RunBool with worker-local scratch: each worker calls
+// newScratch once and passes the same value to every one of its trials, so
+// trial bodies can reuse buffers (fault instances, masks, routers) and run
+// allocation-free in steady state. Results are identical to RunBool for a
+// pure trial function: trial i still sees the stream rng.Stream(cfg.Seed, i)
+// and proportions merge commutatively.
+func RunBoolWith[S any](cfg Config, newScratch func() S, trial func(r *rng.RNG, s S) bool) stats.Proportion {
 	perWorker := make([]stats.Proportion, cfg.workers())
-	parallelFor(cfg, func(w int, i uint64) {
-		perWorker[w].Add(trial(rng.Stream(cfg.Seed, i)))
+	parallelFor(cfg, newScratch, func(w int, r *rng.RNG, s S, i uint64) {
+		perWorker[w].Add(trial(r, s))
 	})
 	var total stats.Proportion
 	for _, p := range perWorker {
@@ -45,11 +62,11 @@ func RunBool(cfg Config, trial func(r *rng.RNG) bool) stats.Proportion {
 	return total
 }
 
-// RunSample accumulates a numeric statistic over cfg.Trials trials.
-func RunSample(cfg Config, trial func(r *rng.RNG) float64) stats.Sample {
+// RunSampleWith is RunSample with worker-local scratch; see RunBoolWith.
+func RunSampleWith[S any](cfg Config, newScratch func() S, trial func(r *rng.RNG, s S) float64) stats.Sample {
 	perWorker := make([]stats.Sample, cfg.workers())
-	parallelFor(cfg, func(w int, i uint64) {
-		perWorker[w].Add(trial(rng.Stream(cfg.Seed, i)))
+	parallelFor(cfg, newScratch, func(w int, r *rng.RNG, s S, i uint64) {
+		perWorker[w].Add(trial(r, s))
 	})
 	var total stats.Sample
 	for w := range perWorker {
@@ -58,12 +75,36 @@ func RunSample(cfg Config, trial func(r *rng.RNG) float64) stats.Sample {
 	return total
 }
 
-// parallelFor executes body(worker, trialIndex) for every trial index on a
-// worker pool with dynamic (atomic counter) load balancing.
-func parallelFor(cfg Config, body func(worker int, trial uint64)) {
+// RunWith runs cfg.Trials trials with worker-local scratch and no built-in
+// statistic: trials fold whatever they measure into their scratch value, and
+// the per-worker scratches are returned for caller-side reduction. The
+// trial index is passed so bodies that derive per-trial seeds beyond the
+// harness stream can do so reproducibly. This is the engine behind
+// multi-statistic experiments (e.g. the Theorem-2 pipeline, which
+// accumulates success, certificate, and churn counters in one pass).
+// Reductions must be order-insensitive (counts, sums, extrema) because
+// trials are distributed dynamically across workers.
+func RunWith[S any](cfg Config, newScratch func() S, trial func(r *rng.RNG, s S, i uint64)) []S {
+	return parallelFor(cfg, newScratch, func(w int, r *rng.RNG, s S, i uint64) {
+		trial(r, s, i)
+	})
+}
+
+// parallelFor executes body(worker, r, scratch, trialIndex) for every trial
+// index on a worker pool with dynamic (atomic counter) load balancing. Each
+// worker owns one scratch value and one RNG, reseeded in place per trial to
+// the pure per-index stream, so no per-trial allocation occurs in the
+// harness itself.
+func parallelFor[S any](cfg Config, newScratch func() S, body func(worker int, r *rng.RNG, s S, trial uint64)) []S {
 	workers := cfg.workers()
+	if cfg.Trials > 0 && workers > cfg.Trials {
+		// Never spin up more workers (each paying for a full scratch —
+		// possibly a materialized evaluator) than there are trials.
+		workers = cfg.Trials
+	}
+	scratches := make([]S, workers)
 	if cfg.Trials <= 0 {
-		return
+		return scratches
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -71,14 +112,19 @@ func parallelFor(cfg Config, body func(worker int, trial uint64)) {
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
+			s := newScratch()
+			scratches[w] = s
+			var r rng.RNG
 			for {
 				i := next.Add(1) - 1
 				if i >= int64(cfg.Trials) {
 					return
 				}
-				body(w, uint64(i))
+				r.ReseedStream(cfg.Seed, uint64(i))
+				body(w, &r, s, uint64(i))
 			}
 		}(w)
 	}
 	wg.Wait()
+	return scratches
 }

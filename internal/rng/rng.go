@@ -78,9 +78,17 @@ func (r *RNG) Split(index uint64) *RNG {
 // shared state: Stream(seed, i) is a pure function, so parallel Monte-Carlo
 // trials get reproducible randomness regardless of scheduling order.
 func Stream(seed, index uint64) *RNG {
+	r := &RNG{}
+	r.ReseedStream(seed, index)
+	return r
+}
+
+// ReseedStream re-initializes r in place to the exact state Stream(seed,
+// index) returns, without allocating. Monte-Carlo workers reuse one RNG
+// value across all their trials this way.
+func (r *RNG) ReseedStream(seed, index uint64) {
 	x := seed ^ (index+1)*0x9e3779b97f4a7c15
-	x = splitMix64(&x) // note: advances the local copy only
-	return New(x)
+	r.Reseed(splitMix64(&x))
 }
 
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.

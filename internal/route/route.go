@@ -45,6 +45,13 @@ type Router struct {
 	epoch     uint32
 	prevEdge  []int32
 	queue     []int32
+	rev       []int32 // path-reconstruction scratch
+
+	// Path pooling (EnablePathReuse): retired circuit paths are kept on a
+	// free list and reused by later Connects, making steady-state churn
+	// allocation-free. Pooled paths are only valid until Disconnect.
+	pooled   bool
+	pathPool [][]int32
 }
 
 // NewRouter returns a router over the fault-free network g.
@@ -76,6 +83,23 @@ func newRouter(g *graph.Graph, vertexOK, edgeOK []bool) *Router {
 		prevEdge:  make([]int32, n),
 		queue:     make([]int32, 0, 256),
 	}
+}
+
+// EnablePathReuse switches the router to pooled path slices: the slice
+// returned by Connect is recycled once its circuit is Disconnected (or the
+// router is Reset), so callers must not retain it past the circuit's
+// lifetime. Together with SetMasks and Reset this makes a long-lived router
+// allocation-free in steady state; core.Evaluator relies on it.
+func (rt *Router) EnablePathReuse() { rt.pooled = true }
+
+// SetMasks replaces the usable-vertex and usable-switch masks (as produced
+// by fault.Instance.Repair / RepairedEdgeUsable) and releases every
+// established circuit, since a mask change invalidates existing paths. It
+// lets one router serve many fault instances without reallocating its BFS
+// and circuit state.
+func (rt *Router) SetMasks(vertexOK, edgeOK []bool) {
+	rt.vertexOK, rt.edgeOK = vertexOK, edgeOK
+	rt.Reset()
 }
 
 func circuitKey(in, out int32) int64 { return int64(in)<<32 | int64(uint32(out)) }
@@ -141,23 +165,47 @@ func (rt *Router) Connect(in, out int32) ([]int32, error) {
 		return nil, ErrNoPath
 	}
 	// Reconstruct and claim the path.
-	var rev []int32
+	rt.rev = rt.rev[:0]
 	for v := out; ; {
-		rev = append(rev, v)
+		rt.rev = append(rt.rev, v)
 		if v == in {
 			break
 		}
 		v = rt.g.EdgeFrom(rt.prevEdge[v])
 	}
-	path := make([]int32, len(rev))
-	for i, v := range rev {
-		path[len(rev)-1-i] = v
+	path := rt.newPath(len(rt.rev))
+	for i, v := range rt.rev {
+		path[len(rt.rev)-1-i] = v
 	}
 	for _, v := range path {
 		rt.busy[v] = true
 	}
 	rt.circuits[circuitKey(in, out)] = path
 	return path, nil
+}
+
+// newPath returns an n-element path slice, recycled from the pool when path
+// reuse is enabled and a retired slice is large enough.
+func (rt *Router) newPath(n int) []int32 {
+	if rt.pooled {
+		for len(rt.pathPool) > 0 {
+			last := len(rt.pathPool) - 1
+			p := rt.pathPool[last]
+			rt.pathPool = rt.pathPool[:last]
+			if cap(p) >= n {
+				return p[:n]
+			}
+			// Too small to reuse: drop it and try the next.
+		}
+	}
+	return make([]int32, n)
+}
+
+// retirePath hands a no-longer-live circuit path back to the pool.
+func (rt *Router) retirePath(p []int32) {
+	if rt.pooled {
+		rt.pathPool = append(rt.pathPool, p)
+	}
 }
 
 // Disconnect releases the circuit between in and out.
@@ -171,6 +219,7 @@ func (rt *Router) Disconnect(in, out int32) error {
 		rt.busy[v] = false
 	}
 	delete(rt.circuits, key)
+	rt.retirePath(path)
 	return nil
 }
 
@@ -186,12 +235,15 @@ func (rt *Router) BusyMask() []bool { return rt.busy }
 // PathOf returns the established path for (in, out), or nil.
 func (rt *Router) PathOf(in, out int32) []int32 { return rt.circuits[circuitKey(in, out)] }
 
-// Reset releases all circuits.
+// Reset releases all circuits, keeping every buffer for reuse.
 func (rt *Router) Reset() {
 	for i := range rt.busy {
 		rt.busy[i] = false
 	}
-	rt.circuits = make(map[int64][]int32)
+	for _, path := range rt.circuits {
+		rt.retirePath(path)
+	}
+	clear(rt.circuits)
 }
 
 // VerifyInvariants checks that established circuits are vertex-disjoint
