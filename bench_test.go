@@ -216,6 +216,27 @@ func BenchmarkEvaluatorTrial(b *testing.B) {
 	}
 }
 
+// BenchmarkEvaluatorBatchTrial is BenchmarkEvaluatorTrial on the batched
+// block engine: failure positions for 64-trial blocks drawn in one sweep,
+// per-trial diff application, incremental repair-mask maintenance.
+// Outcomes are bit-identical to BenchmarkEvaluatorTrial's engine (see the
+// core differential harness); the delta is pure per-trial overhead.
+func BenchmarkEvaluatorBatchTrial(b *testing.B) {
+	nw := benchNetwork(b, 3)
+	ev := NewEvaluator(nw)
+	m := fault.Symmetric(1e-3)
+	var out core.TrialOutcome
+	const block = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%block == 0 {
+			ev.StartBlock(m, 7, uint64(i), block)
+		}
+		ev.EvaluateNextInto(&out, 120)
+	}
+}
+
 // BenchmarkEvaluateLegacy is the pre-Evaluator pipeline (fresh buffers
 // every trial), kept as the before/after baseline for the Evaluator.
 func BenchmarkEvaluateLegacy(b *testing.B) {
@@ -228,26 +249,36 @@ func BenchmarkEvaluateLegacy(b *testing.B) {
 	}
 }
 
+// theorem2Scratch is the worker scratch of the batched Monte-Carlo
+// benchmarks: its StartBlock hook fills the evaluator's fault-injection
+// block, and trials consume it diff-by-diff.
+type theorem2Scratch struct {
+	ev  *Evaluator
+	m   fault.Model
+	out TrialOutcome
+}
+
+func (s *theorem2Scratch) StartBlock(seed, first uint64, n int) {
+	s.ev.StartBlock(s.m, seed, first, n)
+}
+
 // BenchmarkMonteCarloTheorem2Engine runs an experiment-scale (256-trial,
-// all-core) Theorem-2 Monte-Carlo estimate on the batched engine:
-// per-worker Evaluators, zero steady-state allocation. Compare with
+// all-core) Theorem-2 Monte-Carlo estimate on the batched block engine:
+// per-worker Evaluators, block-filled fault injection, incremental repair
+// masks, zero steady-state allocation. Compare with
 // BenchmarkMonteCarloTheorem2Legacy, which rebuilds every per-trial buffer
 // the way the harness did before the Evaluator existed.
 func BenchmarkMonteCarloTheorem2Engine(b *testing.B) {
 	nw := benchNetwork(b, 2)
 	m := fault.Symmetric(0.002)
 	cfg := montecarlo.Config{Trials: 256, Seed: 0xBE}
-	type scratch struct {
-		ev  *Evaluator
-		out TrialOutcome
-	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := montecarlo.RunBoolWith(cfg,
-			func() *scratch { return &scratch{ev: NewEvaluator(nw)} },
-			func(r *rng.RNG, s *scratch) bool {
-				s.ev.EvaluateInto(&s.out, m, r, 120)
+			func() *theorem2Scratch { return &theorem2Scratch{ev: NewEvaluator(nw), m: m} },
+			func(r *rng.RNG, s *theorem2Scratch) bool {
+				s.ev.EvaluateNextInto(&s.out, 120)
 				return s.out.Success
 			})
 		if p.Trials != cfg.Trials {

@@ -2,16 +2,29 @@ package core
 
 import (
 	"ftcsn/internal/fault"
+	"ftcsn/internal/graph"
 )
 
 // Masks restricts traversal during access checks. Nil slices impose no
 // restriction. VertexOK is the repair mask (discarded vertices are
 // unusable); Busy marks vertices held by established circuits; EdgeOK
 // marks switches that are normal with both endpoints usable.
+//
+// OutAllowed/InAllowed, when non-nil, are the CSR-slot-aligned traversal
+// byte arrays for the same masks (graph.BuildOutAllowed/BuildInAllowed):
+// slot i's AdjBlocked bit is set iff the edge in slot i is disallowed by
+// EdgeOK or its far endpoint by VertexOK. They are maintained
+// incrementally by MaskUpdater and let the access BFS test one
+// sequentially-read byte per edge instead of two random mask lookups;
+// they carry no Busy information, so the fast paths engage only when
+// Busy is nil.
 type Masks struct {
 	VertexOK []bool
 	EdgeOK   []bool
 	Busy     []bool
+
+	OutAllowed []uint8
+	InAllowed  []uint8
 }
 
 func (m Masks) vertexAllowed(v int32) bool {
@@ -38,13 +51,16 @@ func RepairMasks(inst *fault.Instance) Masks {
 
 // RepairMasksInto is RepairMasks writing into m's existing slices (grown on
 // first use), so per-trial mask derivation allocates nothing in steady
-// state. m.Busy is left untouched.
+// state. m.Busy is left untouched. The combined traversal arrays are
+// dropped (they no longer match the rebuilt masks); use MaskUpdater to
+// keep them current across trials instead.
 func RepairMasksInto(inst *fault.Instance, m *Masks) {
 	m.VertexOK = inst.RepairInto(m.VertexOK)
 	m.EdgeOK = growBools(m.EdgeOK, inst.G.NumEdges())
 	for e := range m.EdgeOK {
 		m.EdgeOK[e] = inst.RepairedEdgeUsable(m.VertexOK, int32(e))
 	}
+	m.OutAllowed, m.InAllowed = nil, nil
 }
 
 // AccessChecker performs the access computations of Lemmas 3 and 6:
@@ -82,6 +98,9 @@ func (ac *AccessChecker) bump() {
 // itself must be allowed by the caller's convention (it is visited
 // unconditionally).
 func (ac *AccessChecker) CountForward(src int32, targetStage int, m Masks) int {
+	if m.OutAllowed != nil && m.Busy == nil {
+		return ac.countForwardFast(src, targetStage, m.OutAllowed)
+	}
 	g := ac.nw.G
 	target := int32(targetStage)
 	ac.bump()
@@ -115,9 +134,54 @@ func (ac *AccessChecker) CountForward(src int32, targetStage int, m Masks) int {
 	return count
 }
 
+// countForwardFast is CountForward reading the combined traversal bytes —
+// one sequential byte per CSR slot in place of the edge- and vertex-mask
+// lookups (the AdjTerminal bit is ignored: terminals are ordinary vertices
+// to access counting). Visit order, and therefore the count, is identical
+// to the generic loop.
+func (ac *AccessChecker) countForwardFast(src int32, targetStage int, allowed []uint8) int {
+	g := ac.nw.G
+	start, _, heads := g.CSROut()
+	stage := g.Stages()
+	target := int32(targetStage)
+	ac.bump()
+	seen, epoch := ac.seen, ac.epoch
+	seen[src] = epoch
+	ac.queue = ac.queue[:0]
+	ac.queue = append(ac.queue, src)
+	count := 0
+	if stage[src] == target {
+		count++
+	}
+	for head := 0; head < len(ac.queue); head++ {
+		v := ac.queue[head]
+		if stage[v] >= target {
+			continue
+		}
+		for idx := start[v]; idx < start[v+1]; idx++ {
+			if allowed[idx]&graph.AdjBlocked != 0 {
+				continue
+			}
+			w := heads[idx]
+			if seen[w] == epoch {
+				continue
+			}
+			seen[w] = epoch
+			if stage[w] == target {
+				count++
+			}
+			ac.queue = append(ac.queue, w)
+		}
+	}
+	return count
+}
+
 // CountBackward is CountForward on reversed switches, used for the mirror
 // half (Corollary 2): how many targetStage vertices can reach dst.
 func (ac *AccessChecker) CountBackward(dst int32, targetStage int, m Masks) int {
+	if m.InAllowed != nil && m.Busy == nil {
+		return ac.countBackwardFast(dst, targetStage, m.InAllowed)
+	}
 	g := ac.nw.G
 	target := int32(targetStage)
 	ac.bump()
@@ -143,6 +207,44 @@ func (ac *AccessChecker) CountBackward(dst int32, targetStage int, m Masks) int 
 			}
 			ac.seen[w] = ac.epoch
 			if g.Stage(w) == target {
+				count++
+			}
+			ac.queue = append(ac.queue, w)
+		}
+	}
+	return count
+}
+
+// countBackwardFast is countForwardFast on the reverse CSR.
+func (ac *AccessChecker) countBackwardFast(dst int32, targetStage int, allowed []uint8) int {
+	g := ac.nw.G
+	start, _, tails := g.CSRIn()
+	stage := g.Stages()
+	target := int32(targetStage)
+	ac.bump()
+	seen, epoch := ac.seen, ac.epoch
+	seen[dst] = epoch
+	ac.queue = ac.queue[:0]
+	ac.queue = append(ac.queue, dst)
+	count := 0
+	if stage[dst] == target {
+		count++
+	}
+	for head := 0; head < len(ac.queue); head++ {
+		v := ac.queue[head]
+		if stage[v] <= target {
+			continue
+		}
+		for idx := start[v]; idx < start[v+1]; idx++ {
+			if allowed[idx]&graph.AdjBlocked != 0 {
+				continue
+			}
+			w := tails[idx]
+			if seen[w] == epoch {
+				continue
+			}
+			seen[w] = epoch
+			if stage[w] == target {
 				count++
 			}
 			ac.queue = append(ac.queue, w)

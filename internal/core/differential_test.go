@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"ftcsn/internal/fault"
+	"ftcsn/internal/montecarlo"
+	"ftcsn/internal/rng"
+)
+
+// This file is the correctness gate for the batched fault-injection
+// engine: for a seeded grid of (network family, ε, worker count, block
+// size) it runs the batched block engine (StartBlock + EvaluateNextInto)
+// against the legacy per-trial engine (EvaluateInto) and requires
+// bit-identical per-trial outcomes and aggregate statistics. Both the
+// harness-stream seeding (StartBlock) and the sequential Evaluate seeding
+// (StartBlockSeq) are covered.
+
+// diffFamilies returns the networks the differential grid runs over:
+// distinct structural families of 𝒩 (paper-default rows, tall grids with
+// low-degree expanders, explicit Gabber–Galil expanders, and a ν=2
+// instance with a real recursive middle).
+func diffFamilies(t testing.TB) map[string]*Network {
+	t.Helper()
+	fams := map[string]Params{
+		"default-nu1":  DefaultParams(1),
+		"tall-nu1":     {Nu: 1, Gamma: 0, M: 16, DQ: 2, Seed: 3},
+		"explicit-nu1": {Nu: 1, Gamma: 0, M: 4, DQ: 1, Explicit: true, Seed: 1},
+		"default-nu2":  DefaultParams(2),
+	}
+	nws := make(map[string]*Network, len(fams))
+	for name, p := range fams {
+		nw, err := Build(p)
+		if err != nil {
+			t.Fatalf("build %s: %v", name, err)
+		}
+		nws[name] = nw
+	}
+	return nws
+}
+
+// batchedDiffScratch adapts an Evaluator to the montecarlo BlockStarter
+// hook for the differential runs, recording every per-trial outcome.
+type batchedDiffScratch struct {
+	ev   *Evaluator
+	m    fault.Model
+	seq  bool
+	outs []TrialOutcome // shared, indexed by absolute trial; disjoint writes
+}
+
+func (s *batchedDiffScratch) StartBlock(seed, first uint64, n int) {
+	if s.seq {
+		s.ev.StartBlockSeq(s.m, seed, first, n)
+	} else {
+		s.ev.StartBlock(s.m, seed, first, n)
+	}
+}
+
+func TestDifferentialBatchedVsLegacy(t *testing.T) {
+	const (
+		trials   = 40
+		churnOps = 60
+		seed     = uint64(0xD1FF)
+	)
+	epss := []float64{0.0005, 0.01, 0.06}
+	workerGrid := []int{1, 3}
+	blockGrid := []int{1, 7, 64}
+
+	for name, nw := range diffFamilies(t) {
+		for _, eps := range epss {
+			m := fault.Symmetric(eps)
+
+			// Legacy per-trial engine: the reference outcomes.
+			want := make([]TrialOutcome, trials)
+			lev := NewEvaluator(nw)
+			var r rng.RNG
+			for i := 0; i < trials; i++ {
+				r.ReseedStream(seed, uint64(i))
+				lev.EvaluateInto(&want[i], m, &r, churnOps)
+			}
+
+			for _, workers := range workerGrid {
+				for _, block := range blockGrid {
+					label := fmt.Sprintf("%s/eps=%v/w=%d/b=%d", name, eps, workers, block)
+					got := make([]TrialOutcome, trials)
+					var succ int
+					scs := montecarlo.RunWith(
+						montecarlo.Config{Trials: trials, Workers: workers, Seed: seed, Block: block},
+						func() *batchedDiffScratch {
+							return &batchedDiffScratch{ev: NewEvaluator(nw), m: m, outs: got}
+						},
+						func(_ *rng.RNG, s *batchedDiffScratch, i uint64) {
+							s.ev.EvaluateNextInto(&s.outs[i], churnOps)
+						})
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("%s: trial %d diverged:\nbatched %+v\nlegacy  %+v", label, i, got[i], want[i])
+						}
+					}
+					for _, out := range got {
+						if out.Success {
+							succ++
+						}
+					}
+					var wantSucc int
+					for _, out := range want {
+						if out.Success {
+							wantSucc++
+						}
+					}
+					if succ != wantSucc {
+						t.Fatalf("%s: aggregate success %d != legacy %d", label, succ, wantSucc)
+					}
+					_ = scs
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialCertificatePath is the grid for the certificate-only
+// fast path (EvaluateCertificateInto vs EvaluateNextCertInto).
+func TestDifferentialCertificatePath(t *testing.T) {
+	const (
+		trials = 60
+		seed   = uint64(0xCE47)
+	)
+	nw, err := Build(DefaultParams(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{0.001, 0.02} {
+		m := fault.Symmetric(eps)
+		want := make([]TrialOutcome, trials)
+		lev := NewEvaluator(nw)
+		var r rng.RNG
+		for i := 0; i < trials; i++ {
+			r.ReseedStream(seed, uint64(i))
+			lev.EvaluateCertificateInto(&want[i], m, &r)
+		}
+		for _, block := range []int{5, 32} {
+			got := make([]TrialOutcome, trials)
+			montecarlo.RunWith(
+				montecarlo.Config{Trials: trials, Workers: 2, Seed: seed, Block: block},
+				func() *batchedDiffScratch {
+					return &batchedDiffScratch{ev: NewEvaluator(nw), m: m, outs: got}
+				},
+				func(_ *rng.RNG, s *batchedDiffScratch, i uint64) {
+					s.ev.EvaluateNextCertInto(&s.outs[i])
+				})
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("eps=%v block=%d: certificate trial %d diverged:\nbatched %+v\nlegacy  %+v",
+						eps, block, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialSeqSeeding covers the StartBlockSeq convention used by
+// E7/E9: trial i seeded rng.New(seedBase+i), churn continuing in-stream —
+// against the legacy Evaluate(seedBase+i).
+func TestDifferentialSeqSeeding(t *testing.T) {
+	const (
+		trials   = 30
+		churnOps = 50
+		seedBase = uint64(0xE7000)
+	)
+	nw, err := Build(DefaultParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fault.Symmetric(0.01)
+	want := make([]TrialOutcome, trials)
+	lev := NewEvaluator(nw)
+	for i := 0; i < trials; i++ {
+		want[i] = lev.Evaluate(m, seedBase+uint64(i), churnOps)
+	}
+	for _, block := range []int{3, 16} {
+		got := make([]TrialOutcome, trials)
+		montecarlo.RunWith(
+			montecarlo.Config{Trials: trials, Workers: 2, Seed: seedBase, Block: block},
+			func() *batchedDiffScratch {
+				return &batchedDiffScratch{ev: NewEvaluator(nw), m: m, seq: true, outs: got}
+			},
+			func(_ *rng.RNG, s *batchedDiffScratch, i uint64) {
+				s.ev.EvaluateNextInto(&s.outs[i], churnOps)
+			})
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("block=%d: seq-seeded trial %d diverged:\nbatched %+v\nlegacy  %+v", block, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEvaluatorModeMixing checks that an Evaluator recovers exact batched
+// semantics after its instance was mutated by a legacy per-trial call
+// between blocks (the resync path).
+func TestEvaluatorModeMixing(t *testing.T) {
+	nw, err := Build(DefaultParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fault.Symmetric(0.02)
+	const churnOps = 40
+	ev := NewEvaluator(nw)
+	ref := NewEvaluator(nw)
+	var got, want TrialOutcome
+	var r rng.RNG
+	for round := 0; round < 3; round++ {
+		// Legacy call dirties the instance…
+		r.ReseedStream(77, uint64(1000+round))
+		ev.EvaluateInto(&got, m, &r, churnOps)
+		// …then a batched block must still match the reference evaluator.
+		first := uint64(round * 4)
+		ev.StartBlock(m, 99, first, 4)
+		for j := 0; j < 4; j++ {
+			ev.EvaluateNextInto(&got, churnOps)
+			r.ReseedStream(99, first+uint64(j))
+			ref.EvaluateInto(&want, m, &r, churnOps)
+			if got != want {
+				t.Fatalf("round %d trial %d: mixed-mode outcome diverged:\nbatched %+v\nlegacy  %+v", round, j, got, want)
+			}
+		}
+	}
+}

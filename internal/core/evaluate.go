@@ -67,6 +67,14 @@ type Evaluator struct {
 	rt    *route.Router
 	churn ChurnScratch
 	r     rng.RNG
+
+	// Batched-block engine: the injector advances inst between trials by
+	// diffs, the mask updater keeps masks (and the router's shared view of
+	// them) current from those diffs, and synced tracks whether the
+	// inst/masks/router triple is in that incrementally-maintained state.
+	batch  *fault.BatchInjector
+	mu     *MaskUpdater
+	synced bool
 }
 
 // NewEvaluator returns a reusable trial evaluator for nw.
@@ -74,11 +82,13 @@ func NewEvaluator(nw *Network) *Evaluator {
 	rt := route.NewRouter(nw.G)
 	rt.EnablePathReuse()
 	return &Evaluator{
-		nw:   nw,
-		inst: fault.NewInstance(nw.G),
-		fsc:  fault.NewScratch(nw.G),
-		ac:   NewAccessChecker(nw),
-		rt:   rt,
+		nw:    nw,
+		inst:  fault.NewInstance(nw.G),
+		fsc:   fault.NewScratch(nw.G),
+		ac:    NewAccessChecker(nw),
+		rt:    rt,
+		batch: fault.NewBatchInjector(nw.G),
+		mu:    NewMaskUpdater(nw.G),
 	}
 }
 
@@ -97,6 +107,7 @@ func (ev *Evaluator) Evaluate(m fault.Model, seed uint64, churnOps int) TrialOut
 // repairs, certifies, and (for churnOps > 0) drives greedy churn on the
 // evaluator's pooled router — all without allocating.
 func (ev *Evaluator) EvaluateInto(out *TrialOutcome, m fault.Model, r *rng.RNG, churnOps int) {
+	ev.synced = false
 	fault.InjectInto(ev.inst, m, r)
 	ev.evaluateInst(ev.inst, churnOps, r, out)
 }
@@ -107,6 +118,7 @@ func (ev *Evaluator) EvaluateInto(out *TrialOutcome, m fault.Model, r *rng.RNG, 
 // E10 ablations). Shorted is reported false and Success reflects only the
 // certificate.
 func (ev *Evaluator) EvaluateCertificateInto(out *TrialOutcome, m fault.Model, r *rng.RNG) {
+	ev.synced = false
 	fault.InjectInto(ev.inst, m, r)
 	*out = TrialOutcome{
 		FailedSwitches: ev.inst.NumFailed(),
@@ -114,6 +126,100 @@ func (ev *Evaluator) EvaluateCertificateInto(out *TrialOutcome, m fault.Model, r
 		ClosedSwitches: ev.inst.NumClosed(),
 	}
 	RepairMasksInto(ev.inst, &ev.masks)
+	ev.nw.MajorityAccessInto(ev.ac, ev.masks, &ev.rep)
+	out.MajorityAccess = ev.rep.OK
+	out.MinInputAccess = minOf(ev.rep.InputAccess)
+	out.MinOutputAccess = minOf(ev.rep.OutputAccess)
+	out.Success = out.MajorityAccess
+}
+
+// StartBlock readies the evaluator for a block of batched trials under
+// model m: trial first+j draws its faults from rng.Stream(seed, first+j),
+// exactly as EvaluateInto does under the montecarlo harness. Consume the
+// block with EvaluateNextInto / EvaluateNextCertInto — each call advances
+// the fault instance by a diff and repairs only the changed
+// stage-neighborhoods, so per-trial overhead is O(#failure changes), not
+// O(E). Outcomes are bit-identical to the per-trial engine at any block
+// size (see the differential harness).
+func (ev *Evaluator) StartBlock(m fault.Model, seed, first uint64, n int) {
+	ev.resync()
+	ev.batch.FillStream(m, seed, first, n)
+}
+
+// StartBlockSeq is StartBlock for the sequential seeding convention of
+// Evaluate: trial first+j draws its faults from rng.New(seedBase+first+j),
+// with churn continuing on the same generator.
+func (ev *Evaluator) StartBlockSeq(m fault.Model, seedBase, first uint64, n int) {
+	ev.resync()
+	ev.batch.FillSeq(m, seedBase, first, n)
+}
+
+// requireSynced guards the batched entry points: a legacy Evaluate* call
+// between StartBlock and block consumption would leave the injector's
+// applied list out of step with the instance, so diffs would be computed
+// against a wrong baseline — fail loudly instead of corrupting outcomes.
+func (ev *Evaluator) requireSynced() {
+	if !ev.synced {
+		panic("core: EvaluateNext* after a per-trial Evaluate* call; call StartBlock to resynchronize")
+	}
+}
+
+// resync puts the inst/masks/router triple into the incrementally
+// maintained state, from scratch if a per-trial Evaluate* call mutated the
+// instance behind the injector's back.
+func (ev *Evaluator) resync() {
+	if ev.synced {
+		return
+	}
+	ev.batch.Rebase(ev.inst)
+	ev.mu.Init(ev.inst, &ev.masks)
+	ev.rt.SetMasksShared(ev.masks.VertexOK, ev.masks.EdgeOK, ev.masks.OutAllowed)
+	ev.synced = true
+}
+
+// EvaluateNextInto runs the next trial of the current block — the batched
+// counterpart of EvaluateInto, bit-identical to it for the same trial
+// stream. Churn randomness resumes the trial's own stream from its
+// post-injection state.
+func (ev *Evaluator) EvaluateNextInto(out *TrialOutcome, churnOps int) {
+	ev.requireSynced()
+	diff := ev.batch.ApplyNext(ev.inst)
+	ev.mu.Apply(ev.inst, &ev.masks, diff)
+	ev.r.SetState(ev.batch.RNGState(ev.batch.Applied()))
+	*out = TrialOutcome{
+		FailedSwitches: ev.inst.NumFailed(),
+		OpenSwitches:   ev.inst.NumOpen(),
+		ClosedSwitches: ev.inst.NumClosed(),
+	}
+	list, sts := ev.batch.AppliedFailures()
+	if a, _ := ev.inst.ShortedTerminalsFromList(list, sts, ev.fsc); a >= 0 {
+		out.Shorted = true
+	}
+	ev.nw.MajorityAccessInto(ev.ac, ev.masks, &ev.rep)
+	out.MajorityAccess = ev.rep.OK
+	out.MinInputAccess = minOf(ev.rep.InputAccess)
+	out.MinOutputAccess = minOf(ev.rep.OutputAccess)
+
+	if churnOps > 0 {
+		ev.rt.Reset() // masks are shared and already current; drop circuits only
+		out.ChurnConnects, out.ChurnFailures, out.ChurnPathTotal =
+			ChurnWith(ev.rt, ev.nw.Inputs(), ev.nw.Outputs(), churnOps, &ev.r, &ev.churn)
+	}
+	out.Success = !out.Shorted && out.MajorityAccess && out.ChurnFailures == 0
+}
+
+// EvaluateNextCertInto is EvaluateNextInto restricted to the
+// majority-access certificate — the batched counterpart of
+// EvaluateCertificateInto, bit-identical to it for the same trial stream.
+func (ev *Evaluator) EvaluateNextCertInto(out *TrialOutcome) {
+	ev.requireSynced()
+	diff := ev.batch.ApplyNext(ev.inst)
+	ev.mu.Apply(ev.inst, &ev.masks, diff)
+	*out = TrialOutcome{
+		FailedSwitches: ev.inst.NumFailed(),
+		OpenSwitches:   ev.inst.NumOpen(),
+		ClosedSwitches: ev.inst.NumClosed(),
+	}
 	ev.nw.MajorityAccessInto(ev.ac, ev.masks, &ev.rep)
 	out.MajorityAccess = ev.rep.OK
 	out.MinInputAccess = minOf(ev.rep.InputAccess)

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	"ftcsn/internal/fault"
+)
+
+var fuzzNetOnce = sync.OnceValues(func() (*Network, error) {
+	return Build(DefaultParams(1))
+})
+
+// FuzzIncrementalRepairMasks drives MaskUpdater with random edge-state
+// flip sequences — applied one flip at a time and in multi-entry batches,
+// including edges flipped more than once per batch — and asserts the
+// incrementally maintained masks (VertexOK, EdgeOK, and both CSR-aligned
+// traversal byte arrays) always equal a from-scratch RepairMasksInto
+// rebuild. Input encoding: records of 3 bytes (edgeLo, edgeHi, op); op
+// bits 0-1 pick the new state (mod 3), bit 2 flushes the accumulated
+// batch through Apply, bit 3 forces a full cross-check.
+func FuzzIncrementalRepairMasks(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00, 0x05, 0x00, 0x00, 0x04})
+	f.Add([]byte{
+		0x10, 0x00, 0x01, 0x11, 0x00, 0x02, 0x12, 0x00, 0x04,
+		0x10, 0x00, 0x00, 0x10, 0x00, 0x06,
+	})
+	f.Add([]byte{
+		0x40, 0x01, 0x02, 0x40, 0x01, 0x01, 0x40, 0x01, 0x00, 0x40, 0x01, 0x0e,
+		0xff, 0xff, 0x05, 0x00, 0x01, 0x09,
+	})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nw, err := fuzzNetOnce()
+		if err != nil {
+			t.Skip(err)
+		}
+		g := nw.G
+		nE := int32(g.NumEdges())
+
+		inst := fault.NewInstance(g)
+		mu := NewMaskUpdater(g)
+		var m Masks
+		mu.Init(inst, &m)
+
+		check := func(step int) {
+			t.Helper()
+			var want Masks
+			RepairMasksInto(inst, &want)
+			for v := range want.VertexOK {
+				if m.VertexOK[v] != want.VertexOK[v] {
+					t.Fatalf("step %d: VertexOK[%d] = %v, rebuild says %v", step, v, m.VertexOK[v], want.VertexOK[v])
+				}
+			}
+			for e := range want.EdgeOK {
+				if m.EdgeOK[e] != want.EdgeOK[e] {
+					t.Fatalf("step %d: EdgeOK[%d] = %v, rebuild says %v", step, e, m.EdgeOK[e], want.EdgeOK[e])
+				}
+			}
+			wantOut := g.BuildOutAllowed(want.EdgeOK, want.VertexOK, nil)
+			wantIn := g.BuildInAllowed(want.EdgeOK, want.VertexOK, nil)
+			for i := range wantOut {
+				if m.OutAllowed[i] != wantOut[i] {
+					t.Fatalf("step %d: OutAllowed[%d] = %#x, rebuild says %#x", step, i, m.OutAllowed[i], wantOut[i])
+				}
+				if m.InAllowed[i] != wantIn[i] {
+					t.Fatalf("step %d: InAllowed[%d] = %#x, rebuild says %#x", step, i, m.InAllowed[i], wantIn[i])
+				}
+			}
+		}
+
+		var diff []fault.DiffEntry
+		flush := func(step int) {
+			if len(diff) == 0 {
+				return
+			}
+			mu.Apply(inst, &m, diff)
+			diff = diff[:0]
+			_ = step
+		}
+		for i := 0; i+2 < len(data); i += 3 {
+			e := int32(binary.LittleEndian.Uint16(data[i:])) % nE
+			op := data[i+2]
+			s := fault.State(op & 3 % 3)
+			if old := inst.Edge[e]; old != s {
+				inst.SetState(e, s)
+				diff = append(diff, fault.DiffEntry{Edge: e, Old: old, New: s})
+			}
+			if op&4 != 0 {
+				flush(i)
+			}
+			if op&8 != 0 {
+				flush(i)
+				check(i)
+			}
+		}
+		flush(len(data))
+		check(len(data))
+	})
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"ftcsn/internal/fault"
+	"ftcsn/internal/graph"
+)
+
+// MaskUpdater maintains repair masks incrementally: given the diff of edge
+// states between consecutive fault trials (fault.BatchInjector.ApplyNext),
+// Apply recomputes only the stage-neighborhoods of the changed edges —
+// each changed edge's endpoints, and the switches incident to any endpoint
+// whose usability flipped — instead of the O(E) rescan of RepairMasksInto.
+// It also keeps the masks' CSR-slot-aligned traversal byte arrays
+// (Masks.OutAllowed/InAllowed) current, so the access-certificate BFS and
+// the router see the update for free.
+//
+// Dirty sets are epoch-stamped, so per-trial bookkeeping allocates nothing
+// and costs O(1) to reset. Equivalence with the from-scratch rescan is
+// locked by FuzzIncrementalRepairMasks.
+type MaskUpdater struct {
+	g *graph.Graph
+
+	vEpoch []uint32
+	eEpoch []uint32
+	vCur   uint32
+	eCur   uint32
+	dirtyV []int32
+	dirtyE []int32
+}
+
+// NewMaskUpdater returns an updater for graphs over g.
+func NewMaskUpdater(g *graph.Graph) *MaskUpdater {
+	return &MaskUpdater{
+		g:      g,
+		vEpoch: make([]uint32, g.NumVertices()),
+		eEpoch: make([]uint32, g.NumEdges()),
+	}
+}
+
+// Init fully recomputes m from inst — the paper's discard repair, exactly
+// as RepairMasksInto — and builds the combined traversal arrays. Call it
+// once per (instance, masks) pairing; afterwards keep the pair current
+// with Apply.
+func (mu *MaskUpdater) Init(inst *fault.Instance, m *Masks) {
+	RepairMasksInto(inst, m)
+	m.OutAllowed = mu.g.BuildOutAllowed(m.EdgeOK, m.VertexOK, m.OutAllowed)
+	m.InAllowed = mu.g.BuildInAllowed(m.EdgeOK, m.VertexOK, m.InAllowed)
+}
+
+// Apply updates m for the given edge-state changes. m must be current for
+// inst's state before the diff was applied (via Init or a previous Apply).
+// It returns the IDs of the edges whose mask entries were recomputed — a
+// superset of those that actually changed — valid until the next call.
+func (mu *MaskUpdater) Apply(inst *fault.Instance, m *Masks, diff []fault.DiffEntry) []int32 {
+	g := mu.g
+	mu.bump()
+	mu.dirtyV = mu.dirtyV[:0]
+	mu.dirtyE = mu.dirtyE[:0]
+	for _, d := range diff {
+		mu.markEdge(d.Edge)
+		mu.markVertex(g.EdgeFrom(d.Edge))
+		mu.markVertex(g.EdgeTo(d.Edge))
+	}
+	// Usability of a vertex depends only on its incident switches: it is
+	// discarded iff it is a non-terminal touching a failed switch.
+	for _, v := range mu.dirtyV {
+		ok := g.IsTerminal(v) || !hasFailedIncident(inst, g, v)
+		if ok == m.VertexOK[v] {
+			continue
+		}
+		m.VertexOK[v] = ok
+		// A flipped vertex invalidates every incident switch's entry.
+		for _, e := range g.OutEdges(v) {
+			mu.markEdge(e)
+		}
+		for _, e := range g.InEdges(v) {
+			mu.markEdge(e)
+		}
+	}
+	for _, e := range mu.dirtyE {
+		u, w := g.EdgeFrom(e), g.EdgeTo(e)
+		ok := inst.Edge[e] == fault.Normal && m.VertexOK[u] && m.VertexOK[w]
+		m.EdgeOK[e] = ok
+		setAllowedBit(m.OutAllowed, g.OutSlot(e), ok)
+		setAllowedBit(m.InAllowed, g.InSlot(e), ok)
+	}
+	return mu.dirtyE
+}
+
+// setAllowedBit updates the AdjBlocked bit of one traversal byte, leaving
+// the static AdjTerminal bit intact.
+func setAllowedBit(allowed []uint8, slot int32, ok bool) {
+	b := allowed[slot] &^ graph.AdjBlocked
+	if !ok {
+		b |= graph.AdjBlocked
+	}
+	allowed[slot] = b
+}
+
+// hasFailedIncident reports whether any switch incident to v failed.
+func hasFailedIncident(inst *fault.Instance, g *graph.Graph, v int32) bool {
+	for _, e := range g.OutEdges(v) {
+		if inst.Edge[e] != fault.Normal {
+			return true
+		}
+	}
+	for _, e := range g.InEdges(v) {
+		if inst.Edge[e] != fault.Normal {
+			return true
+		}
+	}
+	return false
+}
+
+func (mu *MaskUpdater) bump() {
+	mu.vCur++
+	if mu.vCur == 0 {
+		for i := range mu.vEpoch {
+			mu.vEpoch[i] = 0
+		}
+		mu.vCur = 1
+	}
+	mu.eCur++
+	if mu.eCur == 0 {
+		for i := range mu.eEpoch {
+			mu.eEpoch[i] = 0
+		}
+		mu.eCur = 1
+	}
+}
+
+func (mu *MaskUpdater) markVertex(v int32) {
+	if mu.vEpoch[v] != mu.vCur {
+		mu.vEpoch[v] = mu.vCur
+		mu.dirtyV = append(mu.dirtyV, v)
+	}
+}
+
+func (mu *MaskUpdater) markEdge(e int32) {
+	if mu.eEpoch[e] != mu.eCur {
+		mu.eEpoch[e] = mu.eCur
+		mu.dirtyE = append(mu.dirtyE, e)
+	}
+}

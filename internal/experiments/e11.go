@@ -38,9 +38,10 @@ func E11Substitution(mode Mode) Result {
 
 	measure := func(g *graph.Graph, eps float64, seed uint64) float64 {
 		p := montecarlo.RunBoolWith(montecarlo.Config{Trials: trialsN, Seed: seed},
-			witnessScratchFor(g),
-			func(r *rng.RNG, s *witnessScratch) bool {
-				return s.reinject(eps, r).SurvivesBasicChecksWith(s.sc)
+			batchWitnessScratchFor(g, eps),
+			func(_ *rng.RNG, s *batchWitnessScratch) bool {
+				s.next()
+				return s.survives()
 			})
 		return p.Estimate()
 	}

@@ -142,6 +142,14 @@ func E2TreePaths(mode Mode) Result {
 	return res
 }
 
+// gridScratch is E3's worker-local state: the shared batched injection
+// scratch plus the alive predicate LastStageAccess consumes (a closure
+// over the scratch, created once per worker, not per trial).
+type gridScratch struct {
+	*injectScratch
+	alive func(v int32) bool
+}
+
 // E3GridAccess reproduces Lemma 3 / Fig. 4: in an (l,w)-directed grid, an
 // idle input keeps access to a strict majority of the last stage except
 // with probability exponentially small in the row count l.
@@ -157,36 +165,25 @@ func E3GridAccess(mode Mode) Result {
 	if mode == Quick {
 		ls = []int{4, 8, 16}
 	}
-	// Worker-local scratch: reusable instance, faulty mask, and a predicate
-	// closure created once per worker (not per trial).
-	type gridScratch struct {
-		inst   *fault.Instance
-		faulty []bool
-		alive  func(v int32) bool
-	}
 	for _, l := range ls {
 		for _, eps := range []float64{0.02, 0.05} {
 			an := hammock.NewAccessNetwork(l, 8, true)
 			need := l/2 + 1
 			newScratch := func() *gridScratch {
-				s := &gridScratch{
-					inst:   fault.NewInstance(an.G),
-					faulty: make([]bool, an.G.NumVertices()),
-				}
+				s := &gridScratch{injectScratch: newInjectScratch(an.G, eps)}
 				s.alive = func(v int32) bool { return !s.faulty[v] }
 				return s
 			}
-			access := func(r *rng.RNG, s *gridScratch) int {
-				fault.InjectInto(s.inst, fault.Symmetric(eps), r)
-				s.faulty = s.inst.FaultyVerticesInto(s.faulty)
+			access := func(s *gridScratch) int {
+				s.nextFaulty()
 				return an.LastStageAccess(s.alive)
 			}
 			p := montecarlo.RunBoolWith(montecarlo.Config{Trials: trialsN, Seed: uint64(0xE30000 + l*100)},
 				newScratch,
-				func(r *rng.RNG, s *gridScratch) bool { return access(r, s) >= need })
+				func(_ *rng.RNG, s *gridScratch) bool { return access(s) >= need })
 			frac := montecarlo.RunSampleWith(montecarlo.Config{Trials: trialsN / 4, Seed: uint64(0xE31000 + l*100)},
 				newScratch,
-				func(r *rng.RNG, s *gridScratch) float64 { return float64(access(r, s)) / float64(l) })
+				func(_ *rng.RNG, s *gridScratch) float64 { return float64(access(s)) / float64(l) })
 			tab.AddRow(l, 8, eps, p.Estimate(), 1-p.Estimate(), frac.Mean())
 		}
 	}
@@ -208,10 +205,6 @@ func E4ExpanderFaultTails(mode Mode) Result {
 	}
 	tab := stats.NewTable("t", "d", "ε", "E[frac faulty]", "2dε (analytic)", "P[> 7% faulty]", "e^(−0.06t)")
 	trialsN := mode.trials(500, 5000)
-	type outletScratch struct {
-		inst   *fault.Instance
-		faulty []bool
-	}
 	for _, t := range []int{64, 256, 1024} {
 		for _, eps := range []float64{0.001, 0.005} {
 			d := 3
@@ -219,20 +212,14 @@ func E4ExpanderFaultTails(mode Mode) Result {
 			bip := expander.RandomMatchings(t, d, rng.New(uint64(t)))
 			gb := newBipartiteGraph(bip)
 			threshold := int(0.07 * float64(t))
-			newScratch := func() *outletScratch {
-				return &outletScratch{inst: fault.NewInstance(gb), faulty: make([]bool, gb.NumVertices())}
-			}
-			count := func(r *rng.RNG, s *outletScratch) int {
-				fault.InjectInto(s.inst, fault.Symmetric(eps), r)
-				s.faulty = s.inst.FaultyVerticesInto(s.faulty)
-				return faultyOutlets(s.faulty, t)
-			}
+			newScratch := func() *injectScratch { return newInjectScratch(gb, eps) }
+			count := func(s *injectScratch) int { return faultyOutlets(s.nextFaulty(), t) }
 			meanS := montecarlo.RunSampleWith(montecarlo.Config{Trials: trialsN, Seed: uint64(0xE40000 + t)},
 				newScratch,
-				func(r *rng.RNG, s *outletScratch) float64 { return float64(count(r, s)) / float64(t) })
+				func(_ *rng.RNG, s *injectScratch) float64 { return float64(count(s)) / float64(t) })
 			tail := montecarlo.RunBoolWith(montecarlo.Config{Trials: trialsN, Seed: uint64(0xE41000 + t)},
 				newScratch,
-				func(r *rng.RNG, s *outletScratch) bool { return count(r, s) > threshold })
+				func(_ *rng.RNG, s *injectScratch) bool { return count(s) > threshold })
 			tab.AddRow(t, d, eps, meanS.Mean(), 2*float64(d)*eps, tail.Estimate(), math.Exp(-0.06*float64(t)))
 		}
 	}

@@ -55,13 +55,14 @@ func E5MajorityAccess(mode Mode) Result {
 		}
 		mid := float64(nw.StageSize[nw.MiddleStage])
 		for _, eps := range []float64{0.001, 0.005, 0.02} {
-			// Per-worker evaluators and per-worker minima: the extremum is
-			// folded in the worker's scratch and merged afterwards, so no
-			// trial races on shared state.
+			// Per-worker batched evaluators and per-worker minima: blocks
+			// of fault draws are filled at once (StartBlock) and consumed
+			// by diffs, and the extremum is folded in the worker's scratch
+			// and merged afterwards, so no trial races on shared state.
 			scs := montecarlo.RunWith(montecarlo.Config{Trials: trialsN, Seed: uint64(0xE50000 + nu*100)},
-				evalScratchFor(nw),
-				func(r *rng.RNG, s *evalScratch, _ uint64) {
-					s.ev.EvaluateCertificateInto(&s.out, fault.Symmetric(eps), r)
+				batchEvalScratchFor(nw, fault.Symmetric(eps), false),
+				func(_ *rng.RNG, s *batchEvalScratch, _ uint64) {
+					s.ev.EvaluateNextCertInto(&s.out)
 					s.trials++
 					if s.out.MajorityAccess {
 						s.maj++
@@ -70,7 +71,7 @@ func E5MajorityAccess(mode Mode) Result {
 						s.minFrac = f
 					}
 				})
-			t := mergeEval(scs)
+			t := mergeBatchEval(scs)
 			tab.AddRow(nu, p.N(), p.L(), eps, ratio(t.maj, t.trials), t.minFrac)
 		}
 	}
@@ -116,10 +117,10 @@ func E6TerminalShorting(mode Mode) Result {
 		minDist := terminalMinDistance(nw.G)
 		for _, eps := range []float64{0.1, 0.2, 0.3} {
 			pr := montecarlo.RunBoolWith(montecarlo.Config{Trials: trialsN, Seed: uint64(0xE60000 + nu*10)},
-				witnessScratchFor(nw.G),
-				func(r *rng.RNG, s *witnessScratch) bool {
-					a, _ := s.reinject(eps, r).ShortedTerminalsWith(s.sc)
-					return a >= 0
+				batchWitnessScratchFor(nw.G, eps),
+				func(_ *rng.RNG, s *batchWitnessScratch) bool {
+					s.next()
+					return s.shorted()
 				})
 			tab.AddRow(nu, p.N(), eps, pr.Estimate(), minDist)
 		}
@@ -182,25 +183,26 @@ func E7Theorem2(mode Mode) Result {
 		}
 		a := core.Accounting(p)
 		for _, eps := range []float64{0.0005, 0.002, 0.01} {
-			// Per-worker evaluators; trial i keeps the historical seed
-			// 0xE70000+nu*1000+i so outcomes match the sequential harness
-			// bit-for-bit, only computed in parallel on the fast path.
+			// Per-worker batched evaluators; StartBlockSeq keeps the
+			// historical per-trial seed 0xE70000+nu*1000+i, so outcomes
+			// match the sequential per-trial harness bit-for-bit, only
+			// computed by block diffs on the fast path.
 			seedBase := uint64(0xE70000 + nu*1000)
 			scs := montecarlo.RunWith(montecarlo.Config{Trials: trialsN, Seed: seedBase},
-				evalScratchFor(nw),
-				func(_ *rng.RNG, s *evalScratch, i uint64) {
-					out := s.ev.Evaluate(fault.Symmetric(eps), seedBase+i, 120)
+				batchEvalScratchFor(nw, fault.Symmetric(eps), true),
+				func(_ *rng.RNG, s *batchEvalScratch, _ uint64) {
+					s.ev.EvaluateNextInto(&s.out, 120)
 					s.trials++
-					if out.Success {
+					if s.out.Success {
 						s.succ++
 					}
-					if out.MajorityAccess {
+					if s.out.MajorityAccess {
 						s.maj++
 					}
-					s.churnConn += out.ChurnConnects
-					s.churnFail += out.ChurnFailures
+					s.churnConn += s.out.ChurnConnects
+					s.churnFail += s.out.ChurnFailures
 				})
-			t := mergeEval(scs)
+			t := mergeBatchEval(scs)
 			pipe.AddRow(nu, p.N(), p.L(), a.Edges, a.Depth, eps,
 				ratio(t.succ, t.trials), ratio(t.maj, t.trials), ratio(t.churnFail, t.churnConn))
 		}
@@ -261,9 +263,10 @@ func E8LowerBoundCrossover(mode Mode) Result {
 		depth, _ := rw.g.Depth()
 		termDeg := rw.g.OutDegree(rw.g.Inputs()[0])
 		surv := montecarlo.RunBoolWith(montecarlo.Config{Trials: trialsN, Seed: 0xE80000},
-			witnessScratchFor(rw.g),
-			func(r *rng.RNG, s *witnessScratch) bool {
-				return s.reinject(eps, r).SurvivesBasicChecksWith(s.sc)
+			batchWitnessScratchFor(rw.g, eps),
+			func(_ *rng.RNG, s *batchWitnessScratch) bool {
+				s.next()
+				return s.survives()
 			})
 		bound := core.LowerBoundSize(n)
 		tab.AddRow(rw.name, n, rw.g.NumEdges(), depth, termDeg,

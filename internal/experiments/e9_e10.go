@@ -35,19 +35,21 @@ func E9Routing(mode Mode) Result {
 			continue
 		}
 		for _, eps := range []float64{0, 0.002} {
+			// StartBlockSeq keeps the historical per-trial seed seedBase+i
+			// while the block engine advances trials by diffs.
 			seedBase := uint64(0xE90000 + nu*1000)
 			scs := montecarlo.RunWith(montecarlo.Config{Trials: trialsN, Seed: seedBase},
-				evalScratchFor(nw),
-				func(_ *rng.RNG, s *evalScratch, i uint64) {
-					out := s.ev.Evaluate(fault.Symmetric(eps), seedBase+i, 200)
-					if !out.MajorityAccess {
+				batchEvalScratchFor(nw, fault.Symmetric(eps), true),
+				func(_ *rng.RNG, s *batchEvalScratch, _ uint64) {
+					s.ev.EvaluateNextInto(&s.out, 200)
+					if !s.out.MajorityAccess {
 						return // §4's guarantee is conditional on the certificate
 					}
-					s.churnConn += out.ChurnConnects
-					s.churnFail += out.ChurnFailures
-					s.churnPathTotal += out.ChurnPathTotal
+					s.churnConn += s.out.ChurnConnects
+					s.churnFail += s.out.ChurnFailures
+					s.churnPathTotal += s.out.ChurnPathTotal
 				})
-			t := mergeEval(scs)
+			t := mergeBatchEval(scs)
 			mean := ratio(t.churnPathTotal, t.churnConn-t.churnFail)
 			tab.AddRow(nu, p.N(), eps, trialsN, t.churnConn, t.churnFail, mean)
 		}
@@ -212,9 +214,9 @@ func E10Ablations(mode Mode) Result {
 
 func montecarloMajority(nw *core.Network, eps float64, trials int, seed uint64) float64 {
 	pr := montecarlo.RunBoolWith(montecarlo.Config{Trials: trials, Seed: seed},
-		evalScratchFor(nw),
-		func(r *rng.RNG, s *evalScratch) bool {
-			s.ev.EvaluateCertificateInto(&s.out, fault.Symmetric(eps), r)
+		batchEvalScratchFor(nw, fault.Symmetric(eps), false),
+		func(_ *rng.RNG, s *batchEvalScratch) bool {
+			s.ev.EvaluateNextCertInto(&s.out)
 			return s.out.MajorityAccess
 		})
 	return pr.Estimate()
@@ -222,9 +224,10 @@ func montecarloMajority(nw *core.Network, eps float64, trials int, seed uint64) 
 
 func montecarloSurvive(nw *core.Network, eps float64, trials int, seed uint64) float64 {
 	pr := montecarlo.RunBoolWith(montecarlo.Config{Trials: trials, Seed: seed},
-		witnessScratchFor(nw.G),
-		func(r *rng.RNG, s *witnessScratch) bool {
-			return s.reinject(eps, r).SurvivesBasicChecksWith(s.sc)
+		batchWitnessScratchFor(nw.G, eps),
+		func(_ *rng.RNG, s *batchWitnessScratch) bool {
+			s.next()
+			return s.survives()
 		})
 	return pr.Estimate()
 }

@@ -257,6 +257,10 @@ func growBools(s []bool, n int) []bool {
 // trials; give each Monte-Carlo worker its own via montecarlo.RunBoolWith.
 type Scratch struct {
 	dsu *unionfind.DSU
+	// sdsu is the O(1)-reset forest used by the failure-list variant of the
+	// shorting check, where unioning only the trial's closed switches makes
+	// the check O(#closed + #terminals) instead of O(E + V).
+	sdsu *unionfind.Sparse
 
 	// owner[root] is the terminal that first claimed component root during
 	// the current ShortedTerminalsWith call; valid iff ownerEpoch[root]
@@ -274,6 +278,7 @@ func NewScratch(g *graph.Graph) *Scratch {
 	n := g.NumVertices()
 	return &Scratch{
 		dsu:        unionfind.New(n),
+		sdsu:       unionfind.NewSparse(n),
 		owner:      make([]int32, n),
 		ownerEpoch: make([]uint32, n),
 		reach:      newReachScratch(n),
@@ -297,10 +302,31 @@ func (inst *Instance) ShortedTerminalsWith(sc *Scratch) (a, b int32) {
 		}
 	}
 	sc.bumpOwnerEpoch()
-	if x, y := sc.claimTerminals(inst.G.Inputs()); x >= 0 {
+	if x, y := sc.claimTerminals(inst.G.Inputs(), sc.dsu); x >= 0 {
 		return x, y
 	}
-	return sc.claimTerminals(inst.G.Outputs())
+	return sc.claimTerminals(inst.G.Outputs(), sc.dsu)
+}
+
+// ShortedTerminalsFromList is ShortedTerminalsWith given the trial's
+// failure list (edge IDs ascending, as produced by BatchInjector) instead
+// of a full edge-state scan: only the closed entries are unioned, so the
+// check costs O(#closed α(n) + #terminals) rather than O(E + V). The
+// result is identical to ShortedTerminalsWith on the same instance —
+// the returned pair depends only on the contracted component partition
+// and the terminal scan order, not on the union-find internals.
+func (inst *Instance) ShortedTerminalsFromList(edges []int32, states []State, sc *Scratch) (a, b int32) {
+	sc.sdsu.Reset()
+	for i, e := range edges {
+		if states[i] == Closed {
+			sc.sdsu.Union(int(inst.G.EdgeFrom(e)), int(inst.G.EdgeTo(e)))
+		}
+	}
+	sc.bumpOwnerEpoch()
+	if x, y := sc.claimTerminals(inst.G.Inputs(), sc.sdsu); x >= 0 {
+		return x, y
+	}
+	return sc.claimTerminals(inst.G.Outputs(), sc.sdsu)
 }
 
 // bumpOwnerEpoch starts a fresh owner table in O(1) (O(n) only on the
@@ -315,11 +341,14 @@ func (sc *Scratch) bumpOwnerEpoch() {
 	}
 }
 
+// finder abstracts the two disjoint-set forests claimTerminals runs over.
+type finder interface{ Find(int) int }
+
 // claimTerminals assigns each terminal's component root to it, returning
 // the first pair of terminals found sharing a root.
-func (sc *Scratch) claimTerminals(terms []int32) (int32, int32) {
+func (sc *Scratch) claimTerminals(terms []int32, dsu finder) (int32, int32) {
 	for _, t := range terms {
-		root := sc.dsu.Find(int(t))
+		root := dsu.Find(int(t))
 		if sc.ownerEpoch[root] == sc.ownerCur {
 			return sc.owner[root], t
 		}

@@ -115,12 +115,20 @@ func (b *Builder) Freeze() *Graph {
 	inNext := make([]int32, n)
 	copy(outNext, g.outStart[:n])
 	copy(inNext, g.inStart[:n])
+	g.outHeads = make([]int32, m)
+	g.inTails = make([]int32, m)
+	g.outSlot = make([]int32, m)
+	g.inSlot = make([]int32, m)
 	for e := 0; e < m; e++ {
 		u := b.edgeFrom[e]
 		v := b.edgeTo[e]
 		g.outEdges[outNext[u]] = int32(e)
+		g.outHeads[outNext[u]] = v
+		g.outSlot[e] = outNext[u]
 		outNext[u]++
 		g.inEdges[inNext[v]] = int32(e)
+		g.inTails[inNext[v]] = u
+		g.inSlot[e] = inNext[v]
 		inNext[v]++
 	}
 	g.isTerminal = make([]bool, n)
@@ -145,6 +153,10 @@ type Graph struct {
 	outEdges   []int32
 	inStart    []int32
 	inEdges    []int32
+	outHeads   []int32 // outHeads[i] = EdgeTo(outEdges[i]); CSR-slot aligned
+	inTails    []int32 // inTails[i] = EdgeFrom(inEdges[i])
+	outSlot    []int32 // outSlot[e] = position of e in outEdges
+	inSlot     []int32 // inSlot[e] = position of e in inEdges
 	isTerminal []bool
 }
 
@@ -180,6 +192,88 @@ func (g *Graph) OutEdges(v int32) []int32 {
 // InEdges returns the IDs of edges entering v (shared slice; do not mutate).
 func (g *Graph) InEdges(v int32) []int32 {
 	return g.inEdges[g.inStart[v]:g.inStart[v+1]]
+}
+
+// CSROut exposes the forward CSR arrays directly for hot traversal loops:
+// edges leaving v occupy slots start[v]..start[v+1] of edges, and heads[i]
+// is the head vertex of the edge in slot i. All three slices are shared and
+// must not be mutated.
+func (g *Graph) CSROut() (start, edges, heads []int32) {
+	return g.outStart, g.outEdges, g.outHeads
+}
+
+// CSRIn is CSROut for the reverse adjacency: tails[i] is the tail vertex of
+// the edge in slot i of the in-edge CSR.
+func (g *Graph) CSRIn() (start, edges, tails []int32) {
+	return g.inStart, g.inEdges, g.inTails
+}
+
+// OutSlot returns the position of edge e in the forward CSR edge array,
+// i.e. the index i with CSROut() edges[i] == e.
+func (g *Graph) OutSlot(e int32) int32 { return g.outSlot[e] }
+
+// InSlot returns the position of edge e in the reverse CSR edge array.
+func (g *Graph) InSlot(e int32) int32 { return g.inSlot[e] }
+
+// Stages exposes the per-vertex stage array (shared; do not mutate).
+func (g *Graph) Stages() []int32 { return g.stage }
+
+// Traversal-mask bits for the CSR-slot-aligned "allowed" byte arrays built
+// by BuildOutAllowed/BuildInAllowed and consumed by the routing and access
+// BFS hot loops. A slot with AdjBlocked set is not traversable (the switch
+// failed or an endpoint was discarded by repair); AdjTerminal marks slots
+// whose far endpoint is a network terminal, which routing treats specially
+// (a circuit may only enter a terminal if it is the requested output).
+const (
+	AdjBlocked  uint8 = 1 << 0
+	AdjTerminal uint8 = 1 << 1
+)
+
+// BuildOutAllowed fills dst (grown to NumEdges) with the combined
+// traversal byte for every forward CSR slot: AdjBlocked unless the edge is
+// allowed by edgeOK AND its head vertex by vertexOK (nil masks allow
+// everything), plus AdjTerminal when the head is a terminal.
+func (g *Graph) BuildOutAllowed(edgeOK, vertexOK []bool, dst []uint8) []uint8 {
+	dst = growBytes(dst, g.NumEdges())
+	for i, e := range g.outEdges {
+		w := g.outHeads[i]
+		var b uint8
+		if (edgeOK != nil && !edgeOK[e]) || (vertexOK != nil && !vertexOK[w]) {
+			b = AdjBlocked
+		}
+		if g.isTerminal[w] {
+			b |= AdjTerminal
+		}
+		dst[i] = b
+	}
+	return dst
+}
+
+// BuildInAllowed is BuildOutAllowed for the reverse CSR: the far endpoint
+// of slot i is the tail of the edge.
+func (g *Graph) BuildInAllowed(edgeOK, vertexOK []bool, dst []uint8) []uint8 {
+	dst = growBytes(dst, g.NumEdges())
+	for i, e := range g.inEdges {
+		u := g.inTails[i]
+		var b uint8
+		if (edgeOK != nil && !edgeOK[e]) || (vertexOK != nil && !vertexOK[u]) {
+			b = AdjBlocked
+		}
+		if g.isTerminal[u] {
+			b |= AdjTerminal
+		}
+		dst[i] = b
+	}
+	return dst
+}
+
+// growBytes resizes s to n elements, reusing capacity when possible; the
+// contents are unspecified and must be overwritten by the caller.
+func growBytes(s []uint8, n int) []uint8 {
+	if cap(s) < n {
+		return make([]uint8, n)
+	}
+	return s[:n]
 }
 
 // OutDegree returns the number of switches leaving v.

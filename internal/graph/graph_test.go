@@ -276,3 +276,81 @@ func TestAddEdgeOutOfRangePanics(t *testing.T) {
 	b.AddVertex(NoStage)
 	b.AddEdge(0, 5)
 }
+
+func TestCSRAdjunctArrays(t *testing.T) {
+	g := diamond()
+	start, edges, heads := g.CSROut()
+	if len(start) != g.NumVertices()+1 {
+		t.Fatalf("CSROut start length %d", len(start))
+	}
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		for idx := start[v]; idx < start[v+1]; idx++ {
+			e := edges[idx]
+			if g.EdgeFrom(e) != v {
+				t.Fatalf("out slot %d: edge %d leaves %d, not %d", idx, e, g.EdgeFrom(e), v)
+			}
+			if heads[idx] != g.EdgeTo(e) {
+				t.Fatalf("out slot %d: head %d != EdgeTo %d", idx, heads[idx], g.EdgeTo(e))
+			}
+			if g.OutSlot(e) != idx {
+				t.Fatalf("OutSlot(%d) = %d, want %d", e, g.OutSlot(e), idx)
+			}
+		}
+	}
+	inStart, inEdges, tails := g.CSRIn()
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		for idx := inStart[v]; idx < inStart[v+1]; idx++ {
+			e := inEdges[idx]
+			if g.EdgeTo(e) != v {
+				t.Fatalf("in slot %d: edge %d enters %d, not %d", idx, e, g.EdgeTo(e), v)
+			}
+			if tails[idx] != g.EdgeFrom(e) {
+				t.Fatalf("in slot %d: tail %d != EdgeFrom %d", idx, tails[idx], g.EdgeFrom(e))
+			}
+			if g.InSlot(e) != idx {
+				t.Fatalf("InSlot(%d) = %d, want %d", e, g.InSlot(e), idx)
+			}
+		}
+	}
+}
+
+func TestBuildAllowedBits(t *testing.T) {
+	g := diamond()
+	m := g.NumEdges()
+	edgeOK := make([]bool, m)
+	vertexOK := make([]bool, g.NumVertices())
+	for e := range edgeOK {
+		edgeOK[e] = e%2 == 0
+	}
+	for v := range vertexOK {
+		vertexOK[v] = v%3 != 0
+	}
+	out := g.BuildOutAllowed(edgeOK, vertexOK, nil)
+	in := g.BuildInAllowed(edgeOK, vertexOK, nil)
+	for e := int32(0); e < int32(m); e++ {
+		w, u := g.EdgeTo(e), g.EdgeFrom(e)
+		wantOut := AdjBlocked * b2u(!edgeOK[e] || !vertexOK[w])
+		wantOut |= AdjTerminal * b2u(g.IsTerminal(w))
+		if got := out[g.OutSlot(e)]; got != wantOut {
+			t.Fatalf("edge %d: OutAllowed %#x, want %#x", e, got, wantOut)
+		}
+		wantIn := AdjBlocked * b2u(!edgeOK[e] || !vertexOK[u])
+		wantIn |= AdjTerminal * b2u(g.IsTerminal(u))
+		if got := in[g.InSlot(e)]; got != wantIn {
+			t.Fatalf("edge %d: InAllowed %#x, want %#x", e, got, wantIn)
+		}
+	}
+	// Nil masks allow everything.
+	for i, b := range g.BuildOutAllowed(nil, nil, nil) {
+		if b&AdjBlocked != 0 {
+			t.Fatalf("nil masks: slot %d blocked", i)
+		}
+	}
+}
+
+func b2u(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}

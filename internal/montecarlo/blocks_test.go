@@ -1,0 +1,169 @@
+package montecarlo
+
+import (
+	"sync"
+	"testing"
+
+	"ftcsn/internal/core"
+	"ftcsn/internal/fault"
+	"ftcsn/internal/rng"
+)
+
+// blockRecorder records every StartBlock range and every trial delivered
+// to its worker scratch.
+type blockRecorder struct {
+	mu     *sync.Mutex
+	ranges *[][2]uint64 // shared across workers, mutex-guarded
+	blocks [][2]uint64  // this worker's claimed ranges
+	trials []uint64     // this worker's delivered trials, in order
+}
+
+func (s *blockRecorder) StartBlock(seed, first uint64, n int) {
+	s.mu.Lock()
+	*s.ranges = append(*s.ranges, [2]uint64{first, first + uint64(n)})
+	s.mu.Unlock()
+	s.blocks = append(s.blocks, [2]uint64{first, first + uint64(n)})
+}
+
+// TestBlockSchedulingCoverage: StartBlock ranges partition [0, Trials)
+// exactly, and every trial of a block is delivered, in order, to the
+// worker scratch whose StartBlock claimed it.
+func TestBlockSchedulingCoverage(t *testing.T) {
+	const trials = 103
+	var mu sync.Mutex
+	var ranges [][2]uint64
+	scs := RunWith(Config{Trials: trials, Workers: 4, Seed: 9, Block: 8},
+		func() *blockRecorder { return &blockRecorder{mu: &mu, ranges: &ranges} },
+		func(r *rng.RNG, s *blockRecorder, i uint64) {
+			s.trials = append(s.trials, i)
+		})
+
+	covered := make([]int, trials)
+	for _, rg := range ranges {
+		for i := rg[0]; i < rg[1]; i++ {
+			covered[i]++
+		}
+	}
+	for i, c := range covered {
+		if c != 1 {
+			t.Fatalf("trial %d covered by %d blocks, want 1", i, c)
+		}
+	}
+	for w, s := range scs {
+		if s == nil {
+			continue
+		}
+		want := make([]uint64, 0, len(s.trials))
+		for _, rg := range s.blocks {
+			for i := rg[0]; i < rg[1]; i++ {
+				want = append(want, i)
+			}
+		}
+		if len(want) != len(s.trials) {
+			t.Fatalf("worker %d: %d trials delivered, blocks hold %d", w, len(s.trials), len(want))
+		}
+		for k := range want {
+			if want[k] != s.trials[k] {
+				t.Fatalf("worker %d: trial order %v != block order %v", w, s.trials, want)
+			}
+		}
+	}
+}
+
+// TestBlockSizeInvariance: estimates are bit-identical at any block size
+// and worker count — the determinism contract of block scheduling.
+func TestBlockSizeInvariance(t *testing.T) {
+	trial := func(r *rng.RNG, _ struct{}) bool { return r.Float64() < 0.25 }
+	want := RunBoolWith(Config{Trials: 2000, Workers: 1, Block: 1, Seed: 31},
+		func() struct{} { return struct{}{} }, trial)
+	for _, workers := range []int{1, 4} {
+		for _, block := range []int{1, 3, 17, 1000} {
+			got := RunBoolWith(Config{Trials: 2000, Workers: workers, Block: block, Seed: 31},
+				func() struct{} { return struct{}{} }, trial)
+			if got.Estimate() != want.Estimate() || got.Trials != want.Trials {
+				t.Fatalf("workers=%d block=%d: estimate %v (n=%d) != reference %v (n=%d)",
+					workers, block, got.Estimate(), got.Trials, want.Estimate(), want.Trials)
+			}
+		}
+	}
+}
+
+// batchedEvalScratch mirrors the experiments' batched worker scratch: one
+// evaluator (owning instance, masks, router, injector) per worker over a
+// shared read-only network.
+type batchedEvalScratch struct {
+	ev  *core.Evaluator
+	m   fault.Model
+	out core.TrialOutcome
+}
+
+func (s *batchedEvalScratch) StartBlock(seed, first uint64, n int) {
+	s.ev.StartBlock(s.m, seed, first, n)
+}
+
+// TestBatchedBlockSchedulingRace exercises block-per-worker scheduling on
+// the full batched Theorem-2 pipeline with a shared read-only network and
+// per-worker batch scratch — meaningful under -race — and checks the
+// parallel per-trial outcomes against a sequential run.
+func TestBatchedBlockSchedulingRace(t *testing.T) {
+	nw, err := core.Build(core.DefaultParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fault.Symmetric(0.01)
+	const trials, churn, seed = 64, 40, uint64(0xACE)
+
+	runGrid := func(workers, block int) []core.TrialOutcome {
+		outs := make([]core.TrialOutcome, trials)
+		RunWith(Config{Trials: trials, Workers: workers, Seed: seed, Block: block},
+			func() *batchedEvalScratch { return &batchedEvalScratch{ev: core.NewEvaluator(nw), m: m} },
+			func(_ *rng.RNG, s *batchedEvalScratch, i uint64) {
+				s.ev.EvaluateNextInto(&s.out, churn)
+				outs[i] = s.out
+			})
+		return outs
+	}
+	want := runGrid(1, 16)
+	for _, workers := range []int{2, 8} {
+		for _, block := range []int{4, 16} {
+			got := runGrid(workers, block)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d block=%d: trial %d outcome %+v != sequential %+v",
+						workers, block, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedTrialPathAllocFree pins the whole batched per-trial path —
+// block fill, diff apply, incremental masks, certificate, churn — at zero
+// steady-state allocations per trial (the regression gate behind the
+// "0 allocs/trial" claim of the batched engine).
+func TestBatchedTrialPathAllocFree(t *testing.T) {
+	nw, err := core.Build(core.DefaultParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fault.Symmetric(0.01)
+	ev := core.NewEvaluator(nw)
+	var out core.TrialOutcome
+	const block = 16
+	trial := uint64(0)
+	runBlock := func() {
+		ev.StartBlock(m, 0xA110C, trial, block)
+		for j := 0; j < block; j++ {
+			ev.EvaluateNextInto(&out, 40)
+		}
+		trial += block
+	}
+	// Warm-up: grow every pooled buffer (paths, queues, failure lists).
+	for i := 0; i < 4; i++ {
+		runBlock()
+	}
+	avg := testing.AllocsPerRun(30, runBlock)
+	if avg > 0 {
+		t.Fatalf("batched trial path allocates %.3f allocs per %d-trial block in steady state, want 0", avg, block)
+	}
+}

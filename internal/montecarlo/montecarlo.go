@@ -5,7 +5,10 @@
 // estimated here by repeated independent trials. Trials receive pure
 // per-index RNG streams (rng.Stream), so results are bit-for-bit
 // reproducible no matter how many workers run or how the scheduler
-// interleaves them.
+// interleaves them. Workers claim trials in contiguous blocks (Config.
+// Block), which lets scratch values that implement BlockStarter precompute
+// a whole block at once — the hook behind the batched fault-injection
+// engine — without affecting any trial's randomness or outcome.
 package montecarlo
 
 import (
@@ -22,13 +25,39 @@ type Config struct {
 	Trials  int
 	Workers int    // 0 = GOMAXPROCS
 	Seed    uint64 // root seed; trial i uses rng.Stream(Seed, i)
+	Block   int    // trials per scheduling block; 0 = DefaultBlock
 }
+
+// DefaultBlock is the default scheduling block size. Blocks only set the
+// granularity at which workers claim contiguous trial ranges (and at which
+// BlockStarter scratches precompute); no trial's randomness or outcome
+// depends on the block size.
+const DefaultBlock = 32
 
 func (c Config) workers() int {
 	if c.Workers > 0 {
 		return c.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) block() int {
+	if c.Block > 0 {
+		return c.Block
+	}
+	return DefaultBlock
+}
+
+// BlockStarter is implemented by worker scratch values that precompute
+// state for a whole contiguous block of trials — e.g. evaluators backed by
+// fault.BatchInjector, which draw a block's failure positions in one sweep
+// and then advance trial-to-trial by diffs. StartBlock(seed, first, n) is
+// called on the claiming worker's scratch before that worker runs trials
+// first..first+n-1; the harness still reseeds the trial RNG to
+// rng.Stream(seed, first+j) for trial first+j, so per-trial determinism is
+// independent of block size and worker count.
+type BlockStarter interface {
+	StartBlock(seed, first uint64, n int)
 }
 
 // RunBool estimates P[trial] over cfg.Trials independent trials and
@@ -91,16 +120,28 @@ func RunWith[S any](cfg Config, newScratch func() S, trial func(r *rng.RNG, s S,
 }
 
 // parallelFor executes body(worker, r, scratch, trialIndex) for every trial
-// index on a worker pool with dynamic (atomic counter) load balancing. Each
-// worker owns one scratch value and one RNG, reseeded in place per trial to
-// the pure per-index stream, so no per-trial allocation occurs in the
-// harness itself.
+// index on a worker pool with dynamic (atomic counter) load balancing over
+// contiguous blocks of cfg.Block trials. Each worker owns one scratch value
+// and one RNG, reseeded in place per trial to the pure per-index stream, so
+// no per-trial allocation occurs in the harness itself and results are
+// independent of worker count and block size. Scratches implementing
+// BlockStarter are notified before each claimed block.
 func parallelFor[S any](cfg Config, newScratch func() S, body func(worker int, r *rng.RNG, s S, trial uint64)) []S {
 	workers := cfg.workers()
-	if cfg.Trials > 0 && workers > cfg.Trials {
+	block := cfg.block()
+	if cfg.Block == 0 && cfg.Trials > 0 {
+		// A defaulted block size shrinks so every worker has a block to
+		// claim — block size never affects any trial's outcome, only the
+		// scheduling granularity.
+		if perWorker := (cfg.Trials + workers - 1) / workers; perWorker < block {
+			block = perWorker
+		}
+	}
+	numBlocks := (cfg.Trials + block - 1) / block
+	if cfg.Trials > 0 && workers > numBlocks {
 		// Never spin up more workers (each paying for a full scratch —
-		// possibly a materialized evaluator) than there are trials.
-		workers = cfg.Trials
+		// possibly a materialized evaluator) than there are blocks to claim.
+		workers = numBlocks
 	}
 	scratches := make([]S, workers)
 	if cfg.Trials <= 0 {
@@ -114,14 +155,25 @@ func parallelFor[S any](cfg Config, newScratch func() S, body func(worker int, r
 			defer wg.Done()
 			s := newScratch()
 			scratches[w] = s
+			starter, _ := any(s).(BlockStarter)
 			var r rng.RNG
 			for {
-				i := next.Add(1) - 1
-				if i >= int64(cfg.Trials) {
+				b := next.Add(1) - 1
+				if b >= int64(numBlocks) {
 					return
 				}
-				r.ReseedStream(cfg.Seed, uint64(i))
-				body(w, &r, s, uint64(i))
+				first := int(b) * block
+				end := first + block
+				if end > cfg.Trials {
+					end = cfg.Trials
+				}
+				if starter != nil {
+					starter.StartBlock(cfg.Seed, uint64(first), end-first)
+				}
+				for i := first; i < end; i++ {
+					r.ReseedStream(cfg.Seed, uint64(i))
+					body(w, &r, s, uint64(i))
+				}
 			}
 		}(w)
 	}

@@ -91,6 +91,19 @@ func (r *RNG) ReseedStream(seed, index uint64) {
 	r.Reseed(splitMix64(&x))
 }
 
+// State is a snapshot of the full 256-bit generator state. It exists so
+// batched pipelines can capture "the stream of trial i after its injection
+// draws" once and resume it later (e.g. for churn randomness) without
+// replaying the draws — see fault.BatchInjector.
+type State [4]uint64
+
+// State returns a snapshot of the generator state.
+func (r *RNG) State() State { return State{r.s0, r.s1, r.s2, r.s3} }
+
+// SetState restores a snapshot taken with State. The generator then produces
+// exactly the sequence it would have produced from the snapshot point.
+func (r *RNG) SetState(s State) { r.s0, r.s1, r.s2, r.s3 = s[0], s[1], s[2], s[3] }
+
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
 // Lemire's multiply-shift rejection method avoids modulo bias.
 func (r *RNG) Intn(n int) int {

@@ -233,3 +233,24 @@ func TestShuffleKeepsMultiset(t *testing.T) {
 		t.Fatalf("shuffle changed contents: %v", s)
 	}
 }
+
+func TestStateRoundTrip(t *testing.T) {
+	r := New(77)
+	for i := 0; i < 10; i++ {
+		r.Uint64()
+	}
+	snap := r.State()
+	want := make([]uint64, 8)
+	for i := range want {
+		want[i] = r.Uint64()
+	}
+	// Restoring the snapshot must replay the exact sequence, repeatedly.
+	for round := 0; round < 3; round++ {
+		r.SetState(snap)
+		for i, w := range want {
+			if got := r.Uint64(); got != w {
+				t.Fatalf("round %d draw %d: %x != %x", round, i, got, w)
+			}
+		}
+	}
+}

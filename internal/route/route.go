@@ -5,10 +5,11 @@
 // contains a *strictly* nonblocking network, "routing can be performed by a
 // 'greedy' application of a standard path-finding algorithm, so no
 // difficult computations are involved". Router is that greedy algorithm: a
-// BFS over idle usable vertices. On a strictly nonblocking (sub)network it
-// can never fail; on weaker networks (Beneš without rearrangement,
-// butterflies) its failures are themselves measurements, which experiment
-// E9 exploits.
+// depth-first path hunt over idle usable vertices (visited-stamped, so the
+// worst case stays linear while the common lightly-loaded case costs only
+// about depth·degree). On a strictly nonblocking (sub)network it can never
+// fail; on weaker networks (Beneš without rearrangement, butterflies) its
+// failures are themselves measurements, which experiment E9 exploits.
 //
 // Two engines are provided: the sequential Router, and ConcurrentRouter,
 // which processes many connection requests in parallel with one goroutine
@@ -39,6 +40,14 @@ type Router struct {
 	edgeOK   []bool // usable switches after repair (nil = all usable)
 	busy     []bool // vertices held by established circuits
 	circuits map[int64][]int32
+
+	// allowed is the CSR-slot-aligned traversal byte array the BFS hot
+	// loop reads instead of the edgeOK/vertexOK/IsTerminal triple (see
+	// graph.AdjBlocked/AdjTerminal). It is either owned (rebuilt by
+	// SetMasks into allowedOwned) or shared (adopted from a caller that
+	// maintains it incrementally, via SetMasksShared).
+	allowed      []uint8
+	allowedOwned []uint8
 
 	// BFS scratch, epoch-stamped to avoid clearing per request.
 	seenEpoch []uint32
@@ -73,7 +82,7 @@ func NewRepairedRouter(inst *fault.Instance) *Router {
 
 func newRouter(g *graph.Graph, vertexOK, edgeOK []bool) *Router {
 	n := g.NumVertices()
-	return &Router{
+	rt := &Router{
 		g:         g,
 		vertexOK:  vertexOK,
 		edgeOK:    edgeOK,
@@ -83,6 +92,9 @@ func newRouter(g *graph.Graph, vertexOK, edgeOK []bool) *Router {
 		prevEdge:  make([]int32, n),
 		queue:     make([]int32, 0, 256),
 	}
+	rt.allowedOwned = g.BuildOutAllowed(edgeOK, vertexOK, nil)
+	rt.allowed = rt.allowedOwned
+	return rt
 }
 
 // EnablePathReuse switches the router to pooled path slices: the slice
@@ -99,6 +111,20 @@ func (rt *Router) EnablePathReuse() { rt.pooled = true }
 // and circuit state.
 func (rt *Router) SetMasks(vertexOK, edgeOK []bool) {
 	rt.vertexOK, rt.edgeOK = vertexOK, edgeOK
+	rt.allowedOwned = rt.g.BuildOutAllowed(edgeOK, vertexOK, rt.allowedOwned)
+	rt.allowed = rt.allowedOwned
+	rt.Reset()
+}
+
+// SetMasksShared is SetMasks taking, in addition, the caller-maintained
+// CSR-slot-aligned traversal byte array for the same masks (as built by
+// graph.BuildOutAllowed and kept current by core's incremental mask
+// updater). The router adopts all three slices without copying: as the
+// caller updates them in place between trials, only Reset is needed per
+// trial, so mask changes cost O(#changes) instead of O(E).
+func (rt *Router) SetMasksShared(vertexOK, edgeOK []bool, outAllowed []uint8) {
+	rt.vertexOK, rt.edgeOK = vertexOK, edgeOK
+	rt.allowed = outAllowed
 	rt.Reset()
 }
 
@@ -137,23 +163,38 @@ func (rt *Router) Connect(in, out int32) ([]int32, error) {
 	rt.queue = rt.queue[:0]
 	rt.queue = append(rt.queue, in)
 	found := false
-	for head := 0; head < len(rt.queue) && !found; head++ {
-		v := rt.queue[head]
-		for _, e := range rt.g.OutEdges(v) {
-			if !rt.usableEdge(e) {
+	// Greedy depth-first path hunting (the queue doubles as the stack):
+	// on a lightly loaded network the search dives straight to the output
+	// in O(depth·degree) steps instead of sweeping the whole usable graph
+	// the way a breadth-first search does, and the visited stamps keep the
+	// worst case at one scan per edge, so completeness is unchanged — a
+	// connect succeeds exactly when an idle usable path exists. On this
+	// repository's stage-layered networks every input→output path has the
+	// same length, so path-length statistics are search-order independent.
+	// The hot loop reads one byte per CSR slot (graph.AdjBlocked /
+	// AdjTerminal) in place of the usable-switch, usable-head and
+	// terminal-head lookups, with heads read sequentially.
+	start, edges, heads := rt.g.CSROut()
+	allowed := rt.allowed
+	seen, busy, epoch := rt.seenEpoch, rt.busy, rt.epoch
+	for len(rt.queue) > 0 && !found {
+		v := rt.queue[len(rt.queue)-1]
+		rt.queue = rt.queue[:len(rt.queue)-1]
+		for idx := start[v]; idx < start[v+1]; idx++ {
+			w := heads[idx]
+			if c := allowed[idx]; c != 0 {
+				// Blocked, unless the only objection is that w is a
+				// terminal and w is the requested output: circuits may
+				// not pass through another input or output.
+				if c != graph.AdjTerminal || w != out {
+					continue
+				}
+			}
+			if seen[w] == epoch || busy[w] {
 				continue
 			}
-			w := rt.g.EdgeTo(e)
-			if rt.seenEpoch[w] == rt.epoch || rt.busy[w] || !rt.usableVertex(w) {
-				continue
-			}
-			// Intermediate vertices must not be terminals other than out:
-			// circuits may not pass through another input or output.
-			if rt.g.IsTerminal(w) && w != out {
-				continue
-			}
-			rt.seenEpoch[w] = rt.epoch
-			rt.prevEdge[w] = e
+			seen[w] = epoch
+			rt.prevEdge[w] = edges[idx]
 			if w == out {
 				found = true
 				break
@@ -235,12 +276,15 @@ func (rt *Router) BusyMask() []bool { return rt.busy }
 // PathOf returns the established path for (in, out), or nil.
 func (rt *Router) PathOf(in, out int32) []int32 { return rt.circuits[circuitKey(in, out)] }
 
-// Reset releases all circuits, keeping every buffer for reuse.
+// Reset releases all circuits, keeping every buffer for reuse. It clears
+// busy flags only along the live circuit paths (every busy vertex lies on
+// one — see VerifyInvariants), so a reset costs O(total live path length)
+// rather than O(V).
 func (rt *Router) Reset() {
-	for i := range rt.busy {
-		rt.busy[i] = false
-	}
 	for _, path := range rt.circuits {
+		for _, v := range path {
+			rt.busy[v] = false
+		}
 		rt.retirePath(path)
 	}
 	clear(rt.circuits)
