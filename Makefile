@@ -1,0 +1,31 @@
+# Convenience targets; CI runs the same commands (see .github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: build test race bench experiments experiments-full fuzz-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem ./...
+
+# Regenerate the committed quick-mode experiment tables. Deterministic:
+# reruns must leave every probability table bit-identical.
+experiments:
+	$(GO) run ./cmd/ftbench -mode quick -o EXPERIMENTS.md
+
+# Full-mode tables (larger ν, more trials — minutes, not seconds). Output
+# is not committed; the manual-dispatch CI job uploads it as an artifact.
+experiments-full:
+	$(GO) run ./cmd/ftbench -mode full -o EXPERIMENTS-full.md
+
+fuzz-smoke:
+	$(GO) test ./internal/core -run=NONE -fuzz='^FuzzIncrementalRepairMasks$$' -fuzztime=10s
+	$(GO) test ./internal/core -run=NONE -fuzz='^FuzzBatchedMajorityAccess$$' -fuzztime=10s

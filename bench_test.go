@@ -237,6 +237,71 @@ func BenchmarkEvaluatorBatchTrial(b *testing.B) {
 	}
 }
 
+// BenchmarkEvaluatorCertTrial measures one certificate-only trial (inject
+// → discard repair → majority-access certificate, no witnesses or churn)
+// on the per-trial engine: repair masks are rebuilt from scratch and the
+// certificate runs 2n per-terminal BFS sweeps. This is the BFS baseline
+// for BenchmarkEvaluatorBatchCertTrial.
+func BenchmarkEvaluatorCertTrial(b *testing.B) {
+	nw := benchNetwork(b, 3)
+	ev := NewEvaluator(nw)
+	m := fault.Symmetric(1e-3)
+	var out core.TrialOutcome
+	r := rng.New(7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.EvaluateCertificateInto(&out, m, r)
+	}
+}
+
+// BenchmarkEvaluatorBatchCertTrial is BenchmarkEvaluatorCertTrial on the
+// batched block engine: incremental repair masks carry the CSR-slot
+// traversal bytes, so the majority-access certificate runs word-parallel
+// (core.BatchAccessChecker — all terminals in O(E·n/64) word operations
+// instead of 2n BFS sweeps). Outcomes are bit-identical to the BFS path
+// (see TestDifferentialWordParallelCertifier); the delta is the whole
+// point of the batched certificate.
+func BenchmarkEvaluatorBatchCertTrial(b *testing.B) {
+	nw := benchNetwork(b, 3)
+	ev := NewEvaluator(nw)
+	m := fault.Symmetric(1e-3)
+	var out core.TrialOutcome
+	const block = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%block == 0 {
+			ev.StartBlock(m, 7, uint64(i), block)
+		}
+		ev.EvaluateNextCertInto(&out)
+	}
+}
+
+// BenchmarkMonteCarloCertificateEngine is the certificate-mode variant of
+// BenchmarkMonteCarloTheorem2Engine: an experiment-scale (256-trial,
+// all-core) Lemma-6 estimate — the E5 workload — on the batched engine
+// with the word-parallel certifier. n=64: one full 64-lane strip per
+// sweep, the scale where certification dominates the trial.
+func BenchmarkMonteCarloCertificateEngine(b *testing.B) {
+	nw := benchNetwork(b, 3)
+	m := fault.Symmetric(0.002)
+	cfg := montecarlo.Config{Trials: 256, Seed: 0xBE}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := montecarlo.RunBoolWith(cfg,
+			func() *theorem2Scratch { return &theorem2Scratch{ev: NewEvaluator(nw), m: m} },
+			func(r *rng.RNG, s *theorem2Scratch) bool {
+				s.ev.EvaluateNextCertInto(&s.out)
+				return s.out.MajorityAccess
+			})
+		if p.Trials != cfg.Trials {
+			b.Fatal("wrong trial count")
+		}
+	}
+}
+
 // BenchmarkEvaluateLegacy is the pre-Evaluator pipeline (fresh buffers
 // every trial), kept as the before/after baseline for the Evaluator.
 func BenchmarkEvaluateLegacy(b *testing.B) {

@@ -3,10 +3,21 @@
 // Reachability sweeps over staged networks (majority-access checks, greedy
 // routing frontiers, fault masks) are the innermost loops of every
 // experiment in this repository; a flat []uint64 with explicit word
-// operations keeps them allocation-free and cache-friendly.
+// operations keeps them allocation-free and cache-friendly. The
+// word-parallel majority-access certifier (core.BatchAccessChecker) uses a
+// Set as its lane-row storage through Words.
+//
+// Every mutator maintains the invariant that the unused high bits of the
+// last word (the padding bits, present whenever Len() is not a multiple of
+// 64) are zero; Count, Any, Equal and CountRange rely on it. Set, Clear
+// and Test therefore panic on out-of-range indices rather than silently
+// touching the padding.
 package bitset
 
-import "math/bits"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Set is a bitset over [0, Len()). The zero value is an empty set of
 // capacity zero; use New for a set of a given capacity.
@@ -26,14 +37,44 @@ func New(n int) *Set {
 // Len returns the capacity of the set.
 func (s *Set) Len() int { return s.n }
 
-// Set sets bit i.
-func (s *Set) Set(i int) { s.words[i>>6] |= 1 << (uint(i) & 63) }
+// panicRange reports an out-of-range index. It is kept out of line so the
+// bounds check in Set/Clear/Test stays within the inliner budget.
+func (s *Set) panicRange(i int) {
+	panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+}
 
-// Clear clears bit i.
-func (s *Set) Clear(i int) { s.words[i>>6] &^= 1 << (uint(i) & 63) }
+// Set sets bit i. It panics when i is outside [0, Len()): indices within
+// the last word's slack would otherwise corrupt the padding bits and make
+// Count, Any and Equal lie.
+func (s *Set) Set(i int) {
+	if uint(i) >= uint(s.n) {
+		s.panicRange(i)
+	}
+	s.words[i>>6] |= 1 << (uint(i) & 63)
+}
 
-// Test reports whether bit i is set.
-func (s *Set) Test(i int) bool { return s.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+// Clear clears bit i. It panics when i is outside [0, Len()).
+func (s *Set) Clear(i int) {
+	if uint(i) >= uint(s.n) {
+		s.panicRange(i)
+	}
+	s.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Test reports whether bit i is set. It panics when i is outside
+// [0, Len()).
+func (s *Set) Test(i int) bool {
+	if uint(i) >= uint(s.n) {
+		s.panicRange(i)
+	}
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Words exposes the backing words for hot loops that operate on 64 bits at
+// a time (bit i lives at Words()[i/64] bit i%64). Callers that write
+// through the slice must preserve the invariant that the padding bits —
+// the high bits of the last word beyond Len() — stay zero.
+func (s *Set) Words() []uint64 { return s.words }
 
 // SetAll sets every bit in [0, Len()).
 func (s *Set) SetAll() {
@@ -175,7 +216,10 @@ func (s *Set) Members(dst []int) []int {
 	return dst
 }
 
-// CountRange returns the number of set bits in [lo, hi).
+// CountRange returns the number of set bits in [lo, hi). Out-of-range
+// bounds are clamped to [0, Len()). It popcounts whole words, masking only
+// the partial first and last ones, so the cost is O((hi−lo)/64) words
+// rather than one scan per set bit.
 func (s *Set) CountRange(lo, hi int) int {
 	if lo < 0 {
 		lo = 0
@@ -183,9 +227,18 @@ func (s *Set) CountRange(lo, hi int) int {
 	if hi > s.n {
 		hi = s.n
 	}
-	c := 0
-	for i := s.NextSet(lo); i >= 0 && i < hi; i = s.NextSet(i + 1) {
-		c++
+	if lo >= hi {
+		return 0
 	}
-	return c
+	wlo, whi := lo>>6, (hi-1)>>6
+	first := ^uint64(0) << (uint(lo) & 63)
+	last := ^uint64(0) >> (63 - (uint(hi-1) & 63))
+	if wlo == whi {
+		return bits.OnesCount64(s.words[wlo] & first & last)
+	}
+	c := bits.OnesCount64(s.words[wlo] & first)
+	for w := wlo + 1; w < whi; w++ {
+		c += bits.OnesCount64(s.words[w])
+	}
+	return c + bits.OnesCount64(s.words[whi]&last)
 }

@@ -185,6 +185,130 @@ func TestQuickCountMatchesDistinct(t *testing.T) {
 	}
 }
 
+// mustPanic asserts that f panics.
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	f()
+}
+
+// TestOutOfRangePanics: Set/Clear/Test on any index outside [0, Len())
+// must panic — including indices within the last word's slack, which used
+// to be silently accepted and corrupted the padding bits.
+func TestOutOfRangePanics(t *testing.T) {
+	for _, n := range []int{1, 10, 63, 64, 65, 130} {
+		s := New(n)
+		bad := []int{n, n + 1, -1}
+		if last := ((n+63)/64)*64 - 1; last >= n {
+			bad = append(bad, last) // top of the final word's slack, e.g. New(10).Set(63)
+		}
+		for _, i := range bad {
+			mustPanic(t, "Set", func() { s.Set(i) })
+			mustPanic(t, "Clear", func() { s.Clear(i) })
+			mustPanic(t, "Test", func() { _ = s.Test(i) })
+		}
+	}
+}
+
+// TestCountExactAfterSlackAdjacentWrites locks the padding invariant:
+// writes at the last in-range indices (adjacent to the slack of the final
+// word) must leave Count, Any and Equal exact. Before the bounds checks,
+// New(10).Set(63) succeeded and made Count report a phantom bit.
+func TestCountExactAfterSlackAdjacentWrites(t *testing.T) {
+	for _, n := range []int{1, 10, 65, 127, 130} {
+		s := New(n)
+		s.Set(n - 1)
+		if got := s.Count(); got != 1 {
+			t.Fatalf("n=%d: Count = %d after one write, want 1", n, got)
+		}
+		mustPanic(t, "slack Set", func() { s.Set(n) })
+		if got := s.Count(); got != 1 {
+			t.Fatalf("n=%d: Count = %d after rejected slack write, want 1", n, got)
+		}
+		other := New(n)
+		other.Set(n - 1)
+		if !s.Equal(other) {
+			t.Fatalf("n=%d: Equal lies after rejected slack write", n)
+		}
+		s.Clear(n - 1)
+		if s.Any() {
+			t.Fatalf("n=%d: Any lies after clearing the only bit", n)
+		}
+	}
+}
+
+// countRangeNaive is the reference implementation CountRange is
+// property-tested against.
+func countRangeNaive(s *Set, lo, hi int) int {
+	c := 0
+	for i := s.NextSet(lo); i >= 0 && i < hi; i = s.NextSet(i + 1) {
+		c++
+	}
+	return c
+}
+
+// TestQuickCountRangeMatchesNaive: for random contents and random (even
+// inverted or out-of-range) bounds, the word-masked CountRange agrees with
+// the bit-at-a-time scan.
+func TestQuickCountRangeMatchesNaive(t *testing.T) {
+	f := func(idx []uint16, rawLo, rawHi uint16, n uint16) bool {
+		size := int(n)%520 + 1 // covers sub-word, word-aligned and multi-word capacities
+		s := New(size)
+		for _, i := range idx {
+			s.Set(int(i) % size)
+		}
+		lo := int(rawLo)%(size+4) - 2 // deliberately out of range sometimes
+		hi := int(rawHi)%(size+4) - 2
+		return s.CountRange(lo, hi) == countRangeNaive(s, max(lo, 0), min(hi, size))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCountRangeEdges pins the word-boundary cases explicitly.
+func TestCountRangeEdges(t *testing.T) {
+	s := New(200)
+	s.SetAll()
+	cases := []struct{ lo, hi, want int }{
+		{0, 200, 200},
+		{0, 64, 64},
+		{64, 128, 64},
+		{63, 65, 2},
+		{100, 100, 0},
+		{150, 100, 0},
+		{-5, 7, 7},
+		{190, 400, 10},
+		{199, 200, 1},
+	}
+	for _, c := range cases {
+		if got := s.CountRange(c.lo, c.hi); got != c.want {
+			t.Fatalf("CountRange(%d,%d) = %d, want %d", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+// TestWordsSharedStorage: Words exposes live backing storage usable for
+// word-at-a-time writes, and bit-level reads observe them.
+func TestWordsSharedStorage(t *testing.T) {
+	s := New(128)
+	w := s.Words()
+	if len(w) != 2 {
+		t.Fatalf("Words len = %d, want 2", len(w))
+	}
+	w[1] = 1 << 5
+	if !s.Test(64 + 5) {
+		t.Fatal("bit write through Words not visible to Test")
+	}
+	if got := s.Count(); got != 1 {
+		t.Fatalf("Count = %d after Words write, want 1", got)
+	}
+}
+
 func TestCopyFromAndReset(t *testing.T) {
 	a, b := New(64), New(64)
 	a.Set(5)

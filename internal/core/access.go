@@ -72,6 +72,11 @@ type AccessChecker struct {
 	seen  []uint32
 	epoch uint32
 	queue []int32
+
+	// batch is the word-parallel whole-network certifier, created lazily on
+	// the first MajorityAccessInto call that can use it, so per-terminal
+	// users (grid access counts, busy-aware checks) never pay for its rows.
+	batch *BatchAccessChecker
 }
 
 // NewAccessChecker returns a checker for nw.
@@ -289,7 +294,29 @@ func (nw *Network) MajorityAccess(ac *AccessChecker, m Masks) MajorityReport {
 
 // MajorityAccessInto is MajorityAccess writing into rep, reusing its access
 // slices across calls so repeated certification allocates nothing.
+//
+// When the masks carry the CSR-slot traversal bytes and no Busy
+// information — the batched-trial steady state, where MaskUpdater keeps
+// OutAllowed/InAllowed current — the check runs on the word-parallel
+// BatchAccessChecker: all terminals certified in O(E·n/64) word operations
+// instead of 2n BFS sweeps, with bit-identical reports (see the
+// differential harness). Busy-aware or byte-less masks fall back to the
+// per-terminal BFS below.
 func (nw *Network) MajorityAccessInto(ac *AccessChecker, m Masks, rep *MajorityReport) {
+	if m.Busy == nil && m.OutAllowed != nil && m.InAllowed != nil {
+		if ac.batch == nil {
+			ac.batch = NewBatchAccessChecker(nw)
+		}
+		if ac.batch.MajorityAccessInto(m, rep) {
+			return
+		}
+	}
+	nw.majorityAccessBFS(ac, m, rep)
+}
+
+// majorityAccessBFS is the per-terminal reference path: one CountForward /
+// CountBackward BFS per terminal, with busy terminals exempted as -1.
+func (nw *Network) majorityAccessBFS(ac *AccessChecker, m Masks, rep *MajorityReport) {
 	mid := nw.MiddleStage
 	rep.MiddleSize = int(nw.StageSize[mid])
 	rep.InputAccess = growInts(rep.InputAccess, len(nw.Inputs()))

@@ -159,6 +159,151 @@ func TestDifferentialCertificatePath(t *testing.T) {
 	}
 }
 
+// reportsEqual compares two majority reports field by field, returning a
+// description of the first divergence.
+func reportsEqual(a, b *MajorityReport) (string, bool) {
+	if a.MiddleSize != b.MiddleSize {
+		return fmt.Sprintf("MiddleSize %d != %d", a.MiddleSize, b.MiddleSize), false
+	}
+	if a.OK != b.OK {
+		return fmt.Sprintf("OK %v != %v", a.OK, b.OK), false
+	}
+	if len(a.InputAccess) != len(b.InputAccess) || len(a.OutputAccess) != len(b.OutputAccess) {
+		return "access slice lengths differ", false
+	}
+	for i := range a.InputAccess {
+		if a.InputAccess[i] != b.InputAccess[i] {
+			return fmt.Sprintf("InputAccess[%d] %d != %d", i, a.InputAccess[i], b.InputAccess[i]), false
+		}
+	}
+	for j := range a.OutputAccess {
+		if a.OutputAccess[j] != b.OutputAccess[j] {
+			return fmt.Sprintf("OutputAccess[%d] %d != %d", j, a.OutputAccess[j], b.OutputAccess[j]), false
+		}
+	}
+	return "", true
+}
+
+// TestDifferentialWordParallelCertifier is the batched-certificate leg of
+// the differential harness: across network families × ε × strip widths,
+// the word-parallel MajorityAccessInto must produce bit-identical reports
+// (per-terminal counts and OK) to the per-terminal BFS — both the
+// byte-reading fast BFS and the generic-mask BFS. Families include n=4 and
+// n=16, so every strip width exercises a partial final strip (n not
+// divisible by 64).
+func TestDifferentialWordParallelCertifier(t *testing.T) {
+	const trialsPerCell = 12
+	epss := []float64{0.0005, 0.01, 0.06}
+	widths := []int{1, 7, 64}
+	for name, nw := range diffFamilies(t) {
+		inst := fault.NewInstance(nw.G)
+		mu := NewMaskUpdater(nw.G)
+		ac := NewAccessChecker(nw)
+		var m Masks
+		var r rng.RNG
+		var bfsFast, bfsGeneric, word MajorityReport
+		checkers := make([]*BatchAccessChecker, len(widths))
+		for wi, width := range widths {
+			checkers[wi] = NewBatchAccessChecker(nw)
+			if !checkers[wi].Supported() {
+				t.Fatalf("%s: stage-ordered network not supported by batch certifier", name)
+			}
+			checkers[wi].lanes = width
+		}
+		for ei, eps := range epss {
+			model := fault.Symmetric(eps)
+			for trial := 0; trial < trialsPerCell; trial++ {
+				r.ReseedStream(0xBA7C4, uint64(ei*trialsPerCell+trial))
+				fault.InjectInto(inst, model, &r)
+				mu.Init(inst, &m)
+
+				nw.majorityAccessBFS(ac, m, &bfsFast)
+				generic := Masks{VertexOK: m.VertexOK, EdgeOK: m.EdgeOK}
+				nw.majorityAccessBFS(ac, generic, &bfsGeneric)
+				if why, ok := reportsEqual(&bfsFast, &bfsGeneric); !ok {
+					t.Fatalf("%s eps=%v trial %d: byte-BFS vs generic BFS: %s", name, eps, trial, why)
+				}
+				for wi, width := range widths {
+					if !checkers[wi].MajorityAccessInto(m, &word) {
+						t.Fatalf("%s eps=%v trial %d: word-parallel path declined applicable masks", name, eps, trial)
+					}
+					if why, ok := reportsEqual(&word, &bfsFast); !ok {
+						t.Fatalf("%s eps=%v trial %d width=%d: word-parallel vs BFS: %s", name, eps, trial, width, why)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWordParallelBusyFallback: the fast path carries no busy information,
+// so busy-aware masks must decline word-parallel certification and the
+// Network entry point must still report -1 exemptions through the BFS.
+func TestWordParallelBusyFallback(t *testing.T) {
+	nw, err := Build(DefaultParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := fault.NewInstance(nw.G)
+	mu := NewMaskUpdater(nw.G)
+	var m Masks
+	mu.Init(inst, &m)
+
+	busy := make([]bool, nw.G.NumVertices())
+	busy[nw.Inputs()[1]] = true
+	busy[nw.Outputs()[2]] = true
+	m.Busy = busy
+
+	bc := NewBatchAccessChecker(nw)
+	var rep MajorityReport
+	if bc.MajorityAccessInto(m, &rep) {
+		t.Fatal("word-parallel certifier accepted busy-aware masks")
+	}
+	ac := NewAccessChecker(nw)
+	nw.MajorityAccessInto(ac, m, &rep)
+	if rep.InputAccess[1] != -1 || rep.OutputAccess[2] != -1 {
+		t.Fatalf("busy terminals not exempted: in=%v out=%v", rep.InputAccess, rep.OutputAccess)
+	}
+	if rep.InputAccess[0] < 0 {
+		t.Fatal("idle terminal wrongly exempted")
+	}
+
+	// Same masks without Busy: word-parallel engages and matches the BFS.
+	m.Busy = nil
+	var word, bfs MajorityReport
+	if !bc.MajorityAccessInto(m, &word) {
+		t.Fatal("word-parallel certifier declined busy-free masks")
+	}
+	nw.majorityAccessBFS(ac, m, &bfs)
+	if why, ok := reportsEqual(&word, &bfs); !ok {
+		t.Fatalf("busy-free reports diverge: %s", why)
+	}
+}
+
+// TestEvaluatorCertAllocFree: steady-state batched certificate trials —
+// diff application, incremental masks, word-parallel certification — must
+// not allocate once the evaluator (including its lazily created batch
+// certifier) is warm.
+func TestEvaluatorCertAllocFree(t *testing.T) {
+	nw, err := Build(DefaultParams(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator(nw)
+	m := fault.Symmetric(0.005)
+	var out TrialOutcome
+	ev.StartBlock(m, 0xA110C, 0, 400)
+	for i := 0; i < 40; i++ {
+		ev.EvaluateNextCertInto(&out)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		ev.EvaluateNextCertInto(&out)
+	})
+	if avg > 0 {
+		t.Fatalf("batched certificate trial allocates %.2f allocs/op in steady state, want 0", avg)
+	}
+}
+
 // TestDifferentialSeqSeeding covers the StartBlockSeq convention used by
 // E7/E9: trial i seeded rng.New(seedBase+i), churn continuing in-stream —
 // against the legacy Evaluate(seedBase+i).

@@ -12,6 +12,74 @@ var fuzzNetOnce = sync.OnceValues(func() (*Network, error) {
 	return Build(DefaultParams(1))
 })
 
+// FuzzBatchedMajorityAccess drives the word-parallel certifier against the
+// per-terminal BFS under fuzzed edge-state sequences. The network is
+// DefaultParams(1) — n=4 terminals, NOT divisible by 64, so every run
+// exercises a partial lane strip. Input encoding: byte 0 picks the strip
+// width (1..64 lanes); the rest are records of 3 bytes (edgeLo, edgeHi,
+// state mod 3). After each record the incrementally maintained masks are
+// recertified both ways and the reports must be bit-identical.
+func FuzzBatchedMajorityAccess(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})                                     // width 1
+	f.Add([]byte{0x3F, 0x05, 0x00, 0x01})                   // width 64, one open edge
+	f.Add([]byte{0x06, 0x00, 0x00, 0x02, 0x10, 0x00, 0x01}) // width 7, closed + open
+	f.Add([]byte{
+		0x02, // width 3: partial strips even for n=4
+		0x40, 0x01, 0x02, 0x41, 0x01, 0x01, 0x42, 0x01, 0x02,
+		0x40, 0x01, 0x00, 0xff, 0xff, 0x01,
+	})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nw, err := fuzzNetOnce()
+		if err != nil {
+			t.Skip(err)
+		}
+		g := nw.G
+		nE := int32(g.NumEdges())
+
+		width := 64
+		if len(data) > 0 {
+			width = int(data[0]&0x3F) + 1
+			data = data[1:]
+		}
+		inst := fault.NewInstance(g)
+		mu := NewMaskUpdater(g)
+		ac := NewAccessChecker(nw)
+		bc := NewBatchAccessChecker(nw)
+		if !bc.Supported() {
+			t.Fatal("Network 𝒩 must be stage-ordered")
+		}
+		bc.lanes = width
+		var m Masks
+		mu.Init(inst, &m)
+
+		var word, bfs MajorityReport
+		check := func(step int) {
+			t.Helper()
+			if !bc.MajorityAccessInto(m, &word) {
+				t.Fatalf("step %d: word-parallel path declined applicable masks", step)
+			}
+			nw.majorityAccessBFS(ac, m, &bfs)
+			if why, ok := reportsEqual(&word, &bfs); !ok {
+				t.Fatalf("step %d (width %d): word-parallel vs BFS: %s", step, width, why)
+			}
+		}
+		check(-1)
+		var diff []fault.DiffEntry
+		for i := 0; i+2 < len(data); i += 3 {
+			e := int32(binary.LittleEndian.Uint16(data[i:])) % nE
+			s := fault.State(data[i+2] % 3)
+			if old := inst.Edge[e]; old != s {
+				inst.SetState(e, s)
+				diff = append(diff[:0], fault.DiffEntry{Edge: e, Old: old, New: s})
+				mu.Apply(inst, &m, diff)
+				check(i)
+			}
+		}
+	})
+}
+
 // FuzzIncrementalRepairMasks drives MaskUpdater with random edge-state
 // flip sequences — applied one flip at a time and in multi-entry batches,
 // including edges flipped more than once per batch — and asserts the

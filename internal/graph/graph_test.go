@@ -354,3 +354,85 @@ func b2u(b bool) uint8 {
 	}
 	return 0
 }
+
+func TestStageLayoutStaged(t *testing.T) {
+	b := NewBuilder(8, 8)
+	// Stage 0: v0,v1; stage 1: v2,v3,v4; stage 3: v5 (stage 2 empty).
+	v0 := b.AddVertex(0)
+	v1 := b.AddVertex(0)
+	v2 := b.AddVertex(1)
+	b.AddVertex(1)
+	v4 := b.AddVertex(1)
+	v5 := b.AddVertex(3)
+	b.AddEdge(v0, v2)
+	b.AddEdge(v1, v4)
+	b.AddEdge(v2, v5) // stage 1 -> 3 skip is still strictly increasing
+	g := b.Freeze()
+	first, ok := g.StageLayout()
+	if !ok {
+		t.Fatal("staged sorted graph not recognized")
+	}
+	want := []int32{0, 2, 5, 5, 6}
+	if len(first) != len(want) {
+		t.Fatalf("first = %v, want %v", first, want)
+	}
+	for i := range want {
+		if first[i] != want[i] {
+			t.Fatalf("first = %v, want %v", first, want)
+		}
+	}
+	// Idempotent (cached) and shared.
+	again, ok2 := g.StageLayout()
+	if !ok2 || &again[0] != &first[0] {
+		t.Fatal("StageLayout not cached")
+	}
+	_ = v5
+}
+
+func TestStageLayoutRejects(t *testing.T) {
+	// Unstaged vertex.
+	b := NewBuilder(2, 1)
+	b.AddVertex(0)
+	b.AddVertex(NoStage)
+	if _, ok := b.Freeze().StageLayout(); ok {
+		t.Fatal("unstaged graph accepted")
+	}
+	// IDs not sorted by stage.
+	b = NewBuilder(2, 0)
+	b.AddVertex(1)
+	b.AddVertex(0)
+	if _, ok := b.Freeze().StageLayout(); ok {
+		t.Fatal("stage-unsorted graph accepted")
+	}
+	// Edge not strictly increasing in stage.
+	b = NewBuilder(2, 1)
+	u := b.AddVertex(0)
+	v := b.AddVertex(0)
+	b.AddEdge(u, v)
+	if _, ok := b.Freeze().StageLayout(); ok {
+		t.Fatal("same-stage edge accepted")
+	}
+	// Empty graph.
+	if _, ok := NewBuilder(0, 0).Freeze().StageLayout(); ok {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestStageLayoutMirrorFallsBack(t *testing.T) {
+	b := NewBuilder(4, 3)
+	in := b.AddVertex(0)
+	mid := b.AddVertex(1)
+	out := b.AddVertex(2)
+	b.AddEdge(in, mid)
+	b.AddEdge(mid, out)
+	b.MarkInput(in)
+	b.MarkOutput(out)
+	g := b.Freeze()
+	if _, ok := g.StageLayout(); !ok {
+		t.Fatal("forward chain should be stage-ordered")
+	}
+	// Mirror keeps vertex IDs but reverses stages, so IDs are stage-DEcreasing.
+	if _, ok := g.Mirror().StageLayout(); ok {
+		t.Fatal("mirror image should not be stage-ordered")
+	}
+}

@@ -19,9 +19,17 @@ import (
 // is merely a heuristic that is almost always right under light contention.
 type ConcurrentRouter struct {
 	g        *graph.Graph
-	vertexOK []bool
-	edgeOK   []bool
+	vertexOK []bool         // endpoint admission checks in serveOne only
 	claims   []atomic.Int32 // 0 = free, 1 = claimed
+
+	// allowed is the CSR-slot-aligned traversal byte array the racy BFS
+	// reads — one sequentially-read byte per slot in place of the
+	// usable-switch, usable-head and terminal-head lookups, exactly as the
+	// sequential Router does. It is either built here from the masks
+	// (graph.BuildOutAllowed, the single source of truth for the discard
+	// rule's traversal semantics) or adopted from a caller that maintains
+	// it incrementally (SetMasksShared).
+	allowed []uint8
 
 	// MaxAttempts bounds retries per request (default 8).
 	MaxAttempts int
@@ -31,6 +39,7 @@ type ConcurrentRouter struct {
 func NewConcurrentRouter(g *graph.Graph) *ConcurrentRouter {
 	return &ConcurrentRouter{
 		g:           g,
+		allowed:     g.BuildOutAllowed(nil, nil, nil),
 		claims:      make([]atomic.Int32, g.NumVertices()),
 		MaxAttempts: 8,
 	}
@@ -47,9 +56,29 @@ func NewConcurrentRepairedRouter(inst *fault.Instance) *ConcurrentRouter {
 	return &ConcurrentRouter{
 		g:           inst.G,
 		vertexOK:    usable,
-		edgeOK:      edgeOK,
+		allowed:     inst.G.BuildOutAllowed(edgeOK, usable, nil),
 		claims:      make([]atomic.Int32, inst.G.NumVertices()),
 		MaxAttempts: 8,
+	}
+}
+
+// SetMasksShared replaces the usable-vertex mask and adopts the
+// caller-maintained CSR-slot traversal byte array — the slices
+// core.MaskUpdater keeps current between trials — so the concurrent
+// prober reads exactly the repair semantics the rest of the pipeline
+// certifies against, with no second copy to drift. The signature matches
+// Router.SetMasksShared so the engines are drop-in interchangeable;
+// per-switch usability is consumed only through the traversal bytes here
+// (vertexOK gates endpoint admission). Slices are adopted without
+// copying; the caller must not update them while a ServeBatch is in
+// flight. Every outstanding claim is released, since a mask change
+// invalidates established circuits.
+func (cr *ConcurrentRouter) SetMasksShared(vertexOK, edgeOK []bool, outAllowed []uint8) {
+	_ = edgeOK
+	cr.vertexOK = vertexOK
+	cr.allowed = outAllowed
+	for i := range cr.claims {
+		cr.claims[i].Store(0)
 	}
 }
 
@@ -67,10 +96,6 @@ type Result struct {
 
 func (cr *ConcurrentRouter) usableVertex(v int32) bool {
 	return cr.vertexOK == nil || cr.vertexOK[v]
-}
-
-func (cr *ConcurrentRouter) usableEdge(e int32) bool {
-	return cr.edgeOK == nil || cr.edgeOK[e]
 }
 
 // scratch is per-worker BFS state.
@@ -95,7 +120,10 @@ func (cr *ConcurrentRouter) newScratch(r *rng.RNG) *scratch {
 
 // probe runs the racy BFS from in to out, skipping vertices currently
 // claimed, and returns a candidate path or nil. Out-edges are scanned in a
-// per-attempt rotated order so retries explore different routes.
+// per-attempt rotated order so retries explore different routes. The hot
+// loop reads one traversal byte per CSR slot (graph.AdjBlocked /
+// AdjTerminal) instead of the usable-switch, usable-head and terminal-head
+// lookups, with heads read sequentially.
 func (cr *ConcurrentRouter) probe(sc *scratch, in, out int32, attempt int) []int32 {
 	sc.epoch++
 	if sc.epoch == 0 {
@@ -107,28 +135,32 @@ func (cr *ConcurrentRouter) probe(sc *scratch, in, out int32, attempt int) []int
 	sc.seenEpoch[in] = sc.epoch
 	sc.queue = sc.queue[:0]
 	sc.queue = append(sc.queue, in)
-	rot := attempt + sc.r.Intn(4)
+	rot := int32(attempt + sc.r.Intn(4))
+	start, edges, heads := cr.g.CSROut()
+	allowed := cr.allowed
 	for head := 0; head < len(sc.queue); head++ {
 		v := sc.queue[head]
-		edges := cr.g.OutEdges(v)
-		ne := len(edges)
-		for k := 0; k < ne; k++ {
-			e := edges[(k+rot)%ne]
-			if !cr.usableEdge(e) {
-				continue
+		lo := start[v]
+		ne := start[v+1] - lo
+		for k := int32(0); k < ne; k++ {
+			idx := lo + (k+rot)%ne
+			w := heads[idx]
+			if c := allowed[idx]; c != 0 {
+				// Blocked, unless the only objection is that w is a
+				// terminal and w is the requested output: circuits may not
+				// pass through another input or output.
+				if c != graph.AdjTerminal || w != out {
+					continue
+				}
 			}
-			w := cr.g.EdgeTo(e)
-			if sc.seenEpoch[w] == sc.epoch || !cr.usableVertex(w) {
+			if sc.seenEpoch[w] == sc.epoch {
 				continue
 			}
 			if cr.claims[w].Load() != 0 {
 				continue
 			}
-			if cr.g.IsTerminal(w) && w != out {
-				continue
-			}
 			sc.seenEpoch[w] = sc.epoch
-			sc.prevEdge[w] = e
+			sc.prevEdge[w] = edges[idx]
 			if w == out {
 				var rev []int32
 				for x := out; ; {

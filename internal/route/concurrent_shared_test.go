@@ -1,0 +1,104 @@
+package route_test
+
+// External test package: route cannot import core (core depends on
+// route), but the shared-traversal-byte contract is between
+// core.MaskUpdater and ConcurrentRouter, so it is exercised here.
+
+import (
+	"testing"
+
+	"ftcsn/internal/core"
+	"ftcsn/internal/fault"
+	"ftcsn/internal/rng"
+	"ftcsn/internal/route"
+)
+
+// TestConcurrentRouterSharedMasksMatchRepaired: a concurrent router that
+// adopts core.MaskUpdater's incrementally maintained masks and traversal
+// bytes must serve exactly like one that derived the repaired network
+// itself from the fault instance.
+func TestConcurrentRouterSharedMasksMatchRepaired(t *testing.T) {
+	nw, err := core.Build(core.DefaultParams(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := fault.NewInstance(nw.G)
+	r := rng.New(11)
+	fault.InjectInto(inst, fault.Symmetric(0.01), r)
+
+	mu := core.NewMaskUpdater(nw.G)
+	var m core.Masks
+	mu.Init(inst, &m)
+
+	shared := route.NewConcurrentRouter(nw.G)
+	shared.SetMasksShared(m.VertexOK, m.EdgeOK, m.OutAllowed)
+	owned := route.NewConcurrentRepairedRouter(inst)
+
+	n := len(nw.Inputs())
+	perm := rng.New(12).Perm(n)
+	reqs := make([]route.Request, n)
+	for i := range reqs {
+		reqs[i] = route.Request{In: nw.Inputs()[i], Out: nw.Outputs()[perm[i]]}
+	}
+	// One worker: the racy BFS degenerates to a deterministic sequential
+	// search, so both routers must produce identical paths.
+	resShared := shared.ServeBatch(reqs, 1, 42)
+	resOwned := owned.ServeBatch(reqs, 1, 42)
+	if !route.VerifyDisjoint(resShared) {
+		t.Fatal("shared-mask router produced overlapping paths")
+	}
+	for i := range reqs {
+		a, b := resShared[i], resOwned[i]
+		if len(a.Path) != len(b.Path) {
+			t.Fatalf("request %d: shared path len %d != owned %d", i, len(a.Path), len(b.Path))
+		}
+		for j := range a.Path {
+			if a.Path[j] != b.Path[j] {
+				t.Fatalf("request %d: paths diverge at %d: %v vs %v", i, j, a.Path, b.Path)
+			}
+		}
+	}
+}
+
+// TestConcurrentRouterSharedMasksTrackUpdates: the adopted slices are
+// shared, so a MaskUpdater.Apply between batches is visible to the prober
+// without any rebuild — and SetMasksShared releases stale claims.
+func TestConcurrentRouterSharedMasksTrackUpdates(t *testing.T) {
+	nw, err := core.Build(core.DefaultParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := fault.NewInstance(nw.G)
+	mu := core.NewMaskUpdater(nw.G)
+	var m core.Masks
+	mu.Init(inst, &m)
+
+	cr := route.NewConcurrentRouter(nw.G)
+	cr.SetMasksShared(m.VertexOK, m.EdgeOK, m.OutAllowed)
+
+	in, out := nw.Inputs()[0], nw.Outputs()[0]
+	res := cr.ServeBatch([]route.Request{{In: in, Out: out}}, 1, 1)
+	if res[0].Path == nil {
+		t.Fatal("fault-free connect failed")
+	}
+
+	// Fail every switch incident to the old path's second vertex: the
+	// updater recomputes the masks and traversal bytes in place.
+	victim := res[0].Path[1]
+	var diff []fault.DiffEntry
+	for _, e := range nw.G.OutEdges(victim) {
+		diff = append(diff, fault.DiffEntry{Edge: e, Old: inst.Edge[e], New: fault.Open})
+		inst.SetState(e, fault.Open)
+	}
+	mu.Apply(inst, &m, diff)
+	cr.SetMasksShared(m.VertexOK, m.EdgeOK, m.OutAllowed) // re-arm claims
+
+	res = cr.ServeBatch([]route.Request{{In: in, Out: out}}, 1, 2)
+	if res[0].Path != nil {
+		for _, v := range res[0].Path {
+			if v == victim {
+				t.Fatalf("path %v passes through discarded vertex %d", res[0].Path, victim)
+			}
+		}
+	}
+}
