@@ -2,7 +2,8 @@
 
 GO ?= go
 
-.PHONY: build test race bench experiments experiments-full fuzz-smoke
+.PHONY: build test race bench experiments experiments-full fuzz-smoke \
+	bench-ci bench-baseline bench-check
 
 build:
 	$(GO) build ./...
@@ -17,7 +18,8 @@ bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./...
 
 # Regenerate the committed quick-mode experiment tables. Deterministic:
-# reruns must leave every probability table bit-identical.
+# reruns must leave every byte identical — the CI determinism job runs
+# this and fails on `git diff EXPERIMENTS.md`.
 experiments:
 	$(GO) run ./cmd/ftbench -mode quick -o EXPERIMENTS.md
 
@@ -26,6 +28,47 @@ experiments:
 experiments-full:
 	$(GO) run ./cmd/ftbench -mode full -o EXPERIMENTS-full.md
 
+# --- fuzz smoke -------------------------------------------------------------
+# Single source of truth for the fuzz-smoke set: CI invokes this target, so
+# adding a fuzzer here is all it takes to gate it everywhere.
+
+FUZZTIME ?= 10s
+FUZZERS := \
+	./internal/core:FuzzIncrementalRepairMasks \
+	./internal/core:FuzzBatchedMajorityAccess \
+	./internal/route:FuzzShardedVsSequential
+
 fuzz-smoke:
-	$(GO) test ./internal/core -run=NONE -fuzz='^FuzzIncrementalRepairMasks$$' -fuzztime=10s
-	$(GO) test ./internal/core -run=NONE -fuzz='^FuzzBatchedMajorityAccess$$' -fuzztime=10s
+	@set -e; for t in $(FUZZERS); do \
+		pkg=$${t%%:*}; fz=$${t##*:}; \
+		echo "== fuzz $$fz ($$pkg, $(FUZZTIME))"; \
+		$(GO) test $$pkg -run=NONE -fuzz="^$$fz$$" -fuzztime=$(FUZZTIME); \
+	done
+
+# --- benchmark regression gate ----------------------------------------------
+# The tier-1 gated benchmark set: every hot path with a committed number in
+# BENCH.json. bench-ci measures it (-count=6, folded by min in benchdiff),
+# bench-check gates against the committed baseline (>15% ns/op regression
+# or any allocs/op increase fails), bench-baseline refreshes the baseline.
+
+BENCH_GATED := BenchmarkShardedChurn|BenchmarkGreedyConnect|BenchmarkEvaluatorTrial|BenchmarkEvaluatorBatchTrial|BenchmarkEvaluatorBatchCertTrial|BenchmarkMonteCarloTheorem2Engine|BenchmarkMonteCarloCertificateEngine|BenchmarkWitnessChecks
+BENCH_COUNT ?= 6
+BENCH_TIME ?= 0.6s
+
+# -cpu=1 pins the gated runs to one P: worker-pool benchmarks otherwise
+# allocate (and scale) with GOMAXPROCS, which would make the allocs/op gate
+# depend on the runner's core count instead of the code. No pipe: a failed
+# benchmark run must fail the target, not hand benchdiff a truncated file.
+bench-ci:
+	$(GO) test -run=NONE -bench '^($(BENCH_GATED))$$' -count=$(BENCH_COUNT) \
+		-benchtime=$(BENCH_TIME) -benchmem -cpu=1 . > bench.out || \
+		{ cat bench.out; exit 1; }
+	@cat bench.out
+
+bench-baseline: bench-ci
+	$(GO) run ./cmd/benchdiff -emit -commit "$$(git rev-parse --short HEAD)" \
+		< bench.out > BENCH.json
+	@echo "wrote BENCH.json"
+
+bench-check: bench-ci
+	$(GO) run ./cmd/benchdiff -baseline BENCH.json < bench.out

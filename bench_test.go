@@ -9,12 +9,14 @@ package ftcsn
 // One experiment:  go test -bench=BenchmarkE8 -benchmem
 
 import (
+	"fmt"
 	"testing"
 
 	"ftcsn/internal/core"
 	"ftcsn/internal/experiments"
 	"ftcsn/internal/fault"
 	"ftcsn/internal/montecarlo"
+	"ftcsn/internal/netsim"
 	"ftcsn/internal/rng"
 	"ftcsn/internal/route"
 )
@@ -196,6 +198,77 @@ func BenchmarkConcurrentBatch8(b *testing.B) {
 				cr.Release(res.Path)
 			}
 		}
+	}
+}
+
+// benchShardedChurn drives route.ShardedEngine with the operational
+// connect/release churn stream (netsim.Workload) at 50% circuit occupancy
+// and reports operational requests served per second — connect requests
+// plus release requests, the two request kinds of the circuit-switching
+// protocol (netsim's PROBE and RELEASE) — alongside connects/s alone. The
+// engine's decisions are bit-identical to the sequential router's at every
+// shard count (route's differential harness), so this measures pure
+// serving throughput.
+func benchShardedChurn(b *testing.B, nw *Network, shards, batch int) {
+	se := route.NewShardedEngine(nw.G, shards)
+	wl := netsim.NewWorkload(nw.Inputs(), nw.Outputs(), 0x5AD)
+	n := len(nw.Inputs())
+	var res []route.Result
+	for wl.Live() < n/2 {
+		reqs := wl.NextConnects(n/2 - wl.Live())
+		res = se.ServeBatch(reqs, res)
+		wl.CommitResults(res[:len(reqs)])
+	}
+	served := 0
+	connects := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reqs := wl.NextConnects(batch)
+		res = se.ServeBatch(reqs, res)
+		connects += len(reqs)
+		wl.CommitResults(res[:len(reqs)])
+		k := len(reqs)
+		for _, rel := range wl.NextReleases(k) {
+			if err := se.Disconnect(rel.In, rel.Out); err != nil {
+				b.Fatal(err)
+			}
+			served++
+		}
+		served += k
+	}
+	b.StopTimer()
+	el := b.Elapsed().Seconds()
+	b.ReportMetric(float64(served)/el, "req/s")
+	b.ReportMetric(float64(connects)/el, "connect/s")
+}
+
+// BenchmarkShardedChurn sweeps shard counts on the n=16 operational
+// network — the E9 routing workload scale. The req/s metric is the
+// CI-gated throughput number (see BENCH.json).
+func BenchmarkShardedChurn(b *testing.B) {
+	nw := benchNetwork(b, 2)
+	n := len(nw.Inputs())
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchShardedChurn(b, nw, shards, n/2)
+		})
+	}
+}
+
+// BenchmarkShardedChurnN64 is the same sweep on the n=64 network, where
+// batches are large enough (32 connects at 50% occupancy) for phase-A
+// speculation to fan out across shard goroutines on multicore hardware,
+// and where the word-parallel output-reachability guide carries the probe
+// cost (blind depth-first hunting costs ~2.9µs/connect here; guided,
+// ~0.6µs).
+func BenchmarkShardedChurnN64(b *testing.B) {
+	nw := benchNetwork(b, 3)
+	n := len(nw.Inputs())
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchShardedChurn(b, nw, shards, n/2)
+		})
 	}
 }
 

@@ -1,0 +1,209 @@
+// Command benchdiff turns `go test -bench` output into a machine-readable
+// baseline and gates benchmark regressions against it — the benchstat-style
+// comparison behind the CI bench job.
+//
+// Emit a baseline (reads bench output on stdin):
+//
+//	go test -run=NONE -bench '...' -count=6 -benchmem . > bench.out
+//	benchdiff -emit -commit "$(git rev-parse --short HEAD)" < bench.out > BENCH.json
+//
+// Gate against a committed baseline (reads current bench output on stdin,
+// exits 1 on regression):
+//
+//	benchdiff -baseline BENCH.json -threshold 0.15 < bench.out
+//
+// Every benchmark recorded in the baseline is gated: a missing benchmark,
+// an ns/op regression beyond the threshold, or any allocs/op increase
+// fails the run. Repeated -count runs are folded by minimum (ns/op,
+// allocs/op — the least-noise estimator for regression gating) and maximum
+// for throughput metrics. The baseline records the Go version and commit
+// it was measured at; refresh it with `make bench-baseline` when the
+// benchmark set or the reference hardware changes.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's folded measurements.
+type Entry struct {
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp float64 `json:"allocs_op"`
+	// Extra holds informational custom metrics (e.g. req/s), folded by max
+	// since custom metrics here are throughputs. Not gated.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Baseline is the committed BENCH.json schema.
+type Baseline struct {
+	Go         string           `json:"go"`
+	Commit     string           `json:"commit"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// parse folds bench output into per-benchmark entries (min ns/op and
+// allocs/op, max custom metrics across repeated counts).
+func parse(r *os.File) (map[string]Entry, error) {
+	out := map[string]Entry{}
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		fields := strings.Fields(m[2])
+		e := Entry{NsOp: -1, AllocsOp: -1}
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchdiff: bad value %q for %s", fields[i], name)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				e.NsOp = v
+			case "allocs/op":
+				e.AllocsOp = v
+			case "B/op", "MB/s":
+				// byte metrics ride along with allocs; not folded
+			default:
+				if e.Extra == nil {
+					e.Extra = map[string]float64{}
+				}
+				e.Extra[unit] = v
+			}
+		}
+		if e.NsOp < 0 {
+			continue
+		}
+		if !seen[name] {
+			seen[name] = true
+			out[name] = e
+			continue
+		}
+		prev := out[name]
+		if e.NsOp < prev.NsOp {
+			prev.NsOp = e.NsOp
+		}
+		if e.AllocsOp >= 0 && (prev.AllocsOp < 0 || e.AllocsOp < prev.AllocsOp) {
+			prev.AllocsOp = e.AllocsOp
+		}
+		for k, v := range e.Extra {
+			if prev.Extra == nil {
+				prev.Extra = map[string]float64{}
+			}
+			if v > prev.Extra[k] {
+				prev.Extra[k] = v
+			}
+		}
+		out[name] = prev
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	emit := flag.Bool("emit", false, "emit a BENCH.json baseline from bench output on stdin")
+	commit := flag.String("commit", "unknown", "commit identifier recorded in the baseline")
+	baselinePath := flag.String("baseline", "", "committed baseline to gate bench output (stdin) against")
+	threshold := flag.Float64("threshold", 0.15, "allowed fractional ns/op regression before failing")
+	flag.Parse()
+
+	cur, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if len(cur) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark lines on stdin")
+		os.Exit(2)
+	}
+
+	switch {
+	case *emit:
+		b := Baseline{Go: runtime.Version(), Commit: *commit, Benchmarks: cur}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(b); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	case *baselinePath != "":
+		raw, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		var base Baseline
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", *baselinePath, err)
+			os.Exit(2)
+		}
+		if base.Go != runtime.Version() {
+			fmt.Fprintf(os.Stderr, "benchdiff: note: baseline measured on %s (commit %s), running %s\n",
+				base.Go, base.Commit, runtime.Version())
+		}
+		names := make([]string, 0, len(base.Benchmarks))
+		for name := range base.Benchmarks {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		failed := false
+		fail := func(format string, args ...any) {
+			failed = true
+			fmt.Printf("FAIL  "+format+"\n", args...)
+		}
+		for _, name := range names {
+			b := base.Benchmarks[name]
+			c, ok := cur[name]
+			if !ok {
+				fail("%s: gated benchmark missing from current run", name)
+				continue
+			}
+			ratio := c.NsOp / b.NsOp
+			switch {
+			case ratio > 1+*threshold:
+				fail("%s: ns/op %.0f -> %.0f (%+.1f%%, threshold %.0f%%)",
+					name, b.NsOp, c.NsOp, (ratio-1)*100, *threshold*100)
+			case c.AllocsOp > b.AllocsOp && b.AllocsOp >= 0:
+				fail("%s: allocs/op %.0f -> %.0f", name, b.AllocsOp, c.AllocsOp)
+			default:
+				fmt.Printf("ok    %s: ns/op %.0f -> %.0f (%+.1f%%), allocs/op %.0f\n",
+					name, b.NsOp, c.NsOp, (ratio-1)*100, c.AllocsOp)
+			}
+		}
+		// Surface baseline drift: benchmarks measured now but absent from
+		// the committed baseline are NOT gated until `make bench-baseline`
+		// records them.
+		var ungated []string
+		for name := range cur {
+			if _, ok := base.Benchmarks[name]; !ok {
+				ungated = append(ungated, name)
+			}
+		}
+		sort.Strings(ungated)
+		for _, name := range ungated {
+			fmt.Printf("warn  %s: not in baseline — ungated until the baseline is refreshed\n", name)
+		}
+		if failed {
+			fmt.Println("benchdiff: benchmark regression gate FAILED")
+			os.Exit(1)
+		}
+		fmt.Println("benchdiff: all gated benchmarks within threshold")
+	default:
+		fmt.Fprintln(os.Stderr, "benchdiff: need -emit or -baseline; see package doc")
+		os.Exit(2)
+	}
+}

@@ -66,6 +66,19 @@ type FaultInstance = fault.Instance
 // Router serves connect/disconnect requests with greedy path-finding.
 type Router = route.Router
 
+// ShardedEngine serves batches of connection requests across shards with
+// sequential-router semantics: accept/reject decisions and established
+// paths are bit-identical to Router processing the batch in order, at any
+// shard count. See internal/route and DESIGN.md §2.7.
+type ShardedEngine = route.ShardedEngine
+
+// RouteRequest asks for a circuit In → Out; RouteResult reports one
+// request's outcome (Path == nil means rejected).
+type RouteRequest = route.Request
+
+// RouteResult is the per-request outcome of a routed batch.
+type RouteResult = route.Result
+
 // Graph is the underlying immutable switch-network graph.
 type Graph = graph.Graph
 
@@ -112,6 +125,18 @@ func NewRouter(g *Graph) *Router { return route.NewRouter(g) }
 // NewRepairedRouter returns a router over the network repaired from inst
 // by the paper's rule: discard every faulty non-terminal vertex.
 func NewRepairedRouter(inst *FaultInstance) *Router { return route.NewRepairedRouter(inst) }
+
+// NewShardedEngine returns a sharded batch-routing engine over the
+// fault-free network with the given shard count.
+func NewShardedEngine(g *Graph, shards int) *ShardedEngine {
+	return route.NewShardedEngine(g, shards)
+}
+
+// NewRepairedShardedEngine is NewShardedEngine over the network repaired
+// from inst by the paper's discard rule.
+func NewRepairedShardedEngine(inst *FaultInstance, shards int) *ShardedEngine {
+	return route.NewRepairedShardedEngine(inst, shards)
+}
 
 // NewBenes builds the Beneš rearrangeable network on 2^k terminals.
 func NewBenes(k int) (*Benes, error) { return benes.New(k) }

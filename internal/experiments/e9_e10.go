@@ -56,12 +56,30 @@ func E9Routing(mode Mode) Result {
 	}
 	res.Tables = append(res.Tables, tab)
 
-	// Throughput: sequential router vs concurrent router at 1..8 workers,
-	// saturating the network with a full permutation repeatedly.
+	// Throughput shape: sequential router vs concurrent CAS router vs the
+	// sharded speculate-then-commit engine, saturating the network with a
+	// full permutation repeatedly. Quick mode — committed to EXPERIMENTS.md
+	// and regenerated bit-identically by the CI determinism gate — reports
+	// only the deterministic columns (established counts); wall-clock rates
+	// belong to the benchmark baseline (BENCH.json, BenchmarkShardedChurn)
+	// and appear here in Full mode only.
 	p := scaledParams(2)
 	nw, err := core.Build(p)
 	if err == nil {
-		thr := stats.NewTable("engine", "workers", "requests", "established", "req/s")
+		full := mode == Full
+		var thr *stats.Table
+		if full {
+			thr = stats.NewTable("engine", "workers", "requests", "established", "req/s")
+		} else {
+			thr = stats.NewTable("engine", "workers", "requests", "established")
+		}
+		addRow := func(engine string, workers, requests, established int, rate float64) {
+			if full {
+				thr.AddRow(engine, workers, requests, established, rate)
+			} else {
+				thr.AddRow(engine, workers, requests, established)
+			}
+		}
 		n := p.N()
 		reqs := make([]route.Request, n)
 		perm := rng.New(0xE9).Perm(n)
@@ -73,21 +91,31 @@ func E9Routing(mode Mode) Result {
 		rt := route.NewRouter(nw.G)
 		rt.EnablePathReuse()
 		start := time.Now()
-		done := 0
+		seqDone := 0
 		for rep := 0; rep < rounds; rep++ {
 			for _, rq := range reqs {
 				if _, err := rt.Connect(rq.In, rq.Out); err == nil {
-					done++
+					seqDone++
 				}
 			}
 			rt.Reset()
 		}
 		el := time.Since(start).Seconds()
-		thr.AddRow("sequential", 1, rounds*n, done, float64(rounds*n)/el)
-		for _, workers := range []int{1, 2, 4, 8} {
+		addRow("sequential", 1, rounds*n, seqDone, float64(rounds*n)/el)
+		// The CAS router's accepted count is scheduler-dependent once
+		// workers > 1 (a request can exhaust its retries against transient
+		// claims), so the committed quick-mode table keeps only the
+		// deterministic workers=1 row; the multi-worker rows appear in the
+		// full-mode artifact. The sharded engine needs no such carve-out:
+		// its decisions are deterministic at every shard count.
+		casWorkers := []int{1}
+		if full {
+			casWorkers = []int{1, 2, 4, 8}
+		}
+		for _, workers := range casWorkers {
 			cr := route.NewConcurrentRouter(nw.G)
 			start = time.Now()
-			done = 0
+			done := 0
 			for rep := 0; rep < rounds; rep++ {
 				results := cr.ServeBatch(reqs, workers, uint64(rep))
 				for _, r := range results {
@@ -98,13 +126,41 @@ func E9Routing(mode Mode) Result {
 				}
 			}
 			el = time.Since(start).Seconds()
-			thr.AddRow("concurrent (CAS)", workers, rounds*n, done, float64(rounds*n)/el)
+			addRow("concurrent (CAS)", workers, rounds*n, done, float64(rounds*n)/el)
+		}
+		// Sharded engine: decisions are bit-identical to the sequential
+		// router at every shard count (route's differential harness), so
+		// "established" must reproduce the sequential column exactly.
+		var resBuf []route.Result
+		for _, shards := range []int{1, 2, 4, 8} {
+			se := route.NewShardedEngine(nw.G, shards)
+			start = time.Now()
+			done := 0
+			for rep := 0; rep < rounds; rep++ {
+				resBuf = se.ServeBatch(reqs, resBuf)
+				for i := range resBuf {
+					if resBuf[i].Path != nil {
+						done++
+					}
+				}
+				se.Reset()
+			}
+			el = time.Since(start).Seconds()
+			if done != seqDone {
+				// Decision parity is load-bearing: a mismatch means the
+				// engine broke its contract, and the committed table would
+				// hide it. Make it visible in the artifact instead.
+				addRow("sharded BROKEN PARITY", shards, rounds*n, done, 0)
+				continue
+			}
+			addRow("sharded (speculate+commit)", shards, rounds*n, done, float64(rounds*n)/el)
 		}
 		res.Tables = append(res.Tables, thr)
 	}
 	res.Notes = append(res.Notes,
 		"whenever the Lemma-6 certificate holds, greedy churn never blocks (blocked = 0): strict nonblockingness is operational, not just structural",
-		"the concurrent router's CAS claims preserve vertex-disjointness under contention (see route tests); speedup is workload-bound at these sizes")
+		"the concurrent router's CAS claims preserve vertex-disjointness under contention (see route tests); speedup is workload-bound at these sizes",
+		"the sharded engine establishes exactly the sequential router's circuit set at every shard count — speculation and the word-parallel prefilter are decision-neutral; throughput is tracked in BENCH.json (BenchmarkShardedChurn), not here")
 	return res
 }
 

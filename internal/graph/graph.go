@@ -286,6 +286,17 @@ const (
 	AdjTerminal uint8 = 1 << 1
 )
 
+// SlotAdmits reports whether traversal byte c admits stepping through its
+// CSR slot toward head while hunting a path to out: the slot must be fully
+// allowed, or objectionable only because head is a terminal AND head is
+// the requested output — circuits may not pass through foreign terminals.
+// Every path hunt (route.Router.Connect, the concurrent prober, the
+// sharded engine's probes) shares this single admission rule so the
+// engines cannot drift apart; it inlines to two compares.
+func SlotAdmits(c uint8, head, out int32) bool {
+	return c == 0 || (c == AdjTerminal && head == out)
+}
+
 // BuildOutAllowed fills dst (grown to NumEdges) with the combined
 // traversal byte for every forward CSR slot: AdjBlocked unless the edge is
 // allowed by edgeOK AND its head vertex by vertexOK (nil masks allow

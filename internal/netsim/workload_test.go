@@ -1,0 +1,136 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"ftcsn/internal/core"
+	"ftcsn/internal/route"
+)
+
+func buildSmall(t testing.TB) *core.Network {
+	t.Helper()
+	nw, err := core.Build(core.Params{Nu: 1, Gamma: 0, M: 4, DQ: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// TestWorkloadDeterminism: two workloads with the same seed and the same
+// decision feedback produce identical request streams.
+func TestWorkloadDeterminism(t *testing.T) {
+	nw := buildSmall(t)
+	a := NewWorkload(nw.Inputs(), nw.Outputs(), 7)
+	b := NewWorkload(nw.Inputs(), nw.Outputs(), 7)
+	for round := 0; round < 20; round++ {
+		ra := a.NextConnects(3)
+		rb := b.NextConnects(3)
+		if len(ra) != len(rb) {
+			t.Fatalf("round %d: batch sizes differ: %d vs %d", round, len(ra), len(rb))
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("round %d req %d: %v vs %v", round, i, ra[i], rb[i])
+			}
+		}
+		// Identical (arbitrary) decision feedback keeps them in lockstep.
+		a.Commit(func(i int) bool { return i%2 == 0 })
+		b.Commit(func(i int) bool { return i%2 == 0 })
+		la := a.NextReleases(1)
+		lb := b.NextReleases(1)
+		if len(la) != len(lb) || (len(la) > 0 && la[0] != lb[0]) {
+			t.Fatalf("round %d: releases differ: %v vs %v", round, la, lb)
+		}
+	}
+}
+
+// TestWorkloadPoolsConsistent: endpoints move idle→pending→live/idle→idle
+// without loss or duplication.
+func TestWorkloadPoolsConsistent(t *testing.T) {
+	nw := buildSmall(t)
+	n := len(nw.Inputs())
+	w := NewWorkload(nw.Inputs(), nw.Outputs(), 3)
+	for round := 0; round < 50; round++ {
+		reqs := w.NextConnects(3)
+		w.Commit(func(i int) bool { return (round+i)%3 != 0 })
+		if w.Live()+w.Idle() != n {
+			t.Fatalf("round %d: live %d + idle %d != %d", round, w.Live(), w.Idle(), n)
+		}
+		w.NextReleases(2)
+		if w.Live()+w.Idle() != n {
+			t.Fatalf("round %d post-release: live %d + idle %d != %d", round, w.Live(), w.Idle(), n)
+		}
+		_ = reqs
+	}
+}
+
+// TestWorkloadDrivesSim wires the operational workload through the
+// link-level distributed simulator: connects are issued as protocol
+// requests, accepts become live circuits, releases tear them down. On the
+// fault-free network the protocol must keep up with sustained churn.
+func TestWorkloadDrivesSim(t *testing.T) {
+	nw := buildSmall(t)
+	s := New(nw.G)
+	defer s.Close()
+	w := NewWorkload(nw.Inputs(), nw.Outputs(), 11)
+	cids := map[[2]int32]int64{}
+	accepted := 0
+	for round := 0; round < 30; round++ {
+		reqs := w.NextConnects(2)
+		ok := make([]bool, len(reqs))
+		for i, rq := range reqs {
+			cid, err := s.Request(rq.In, rq.Out, 5*time.Second)
+			if err == nil {
+				ok[i] = true
+				accepted++
+				cids[[2]int32{rq.In, rq.Out}] = cid
+			}
+		}
+		w.Commit(func(i int) bool { return ok[i] })
+		for _, rel := range w.NextReleases(2) {
+			key := [2]int32{rel.In, rel.Out}
+			s.Release(rel.In, cids[key])
+			delete(cids, key)
+			// Releases are asynchronous; the workload only needs the
+			// endpoints back, which it already took care of.
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("distributed protocol accepted nothing under the operational workload")
+	}
+}
+
+// TestWorkloadAgreesAcrossEngines: the same workload stream fed to the
+// sequential router and the sharded engine yields identical live sets —
+// the wiring that lets E9 put both engines on one operational column.
+func TestWorkloadAgreesAcrossEngines(t *testing.T) {
+	nw := buildSmall(t)
+	rt := route.NewRouter(nw.G)
+	se := route.NewShardedEngine(nw.G, 2)
+	wa := NewWorkload(nw.Inputs(), nw.Outputs(), 5)
+	wb := NewWorkload(nw.Inputs(), nw.Outputs(), 5)
+	var res []route.Result
+	for round := 0; round < 40; round++ {
+		ra := wa.NextConnects(3)
+		rb := wb.NextConnects(3)
+		res = se.ServeBatch(rb, res)
+		for i, rq := range ra {
+			_, err := rt.Connect(rq.In, rq.Out)
+			if (err == nil) != (res[i].Path != nil) {
+				t.Fatalf("round %d req %d: engines disagree", round, i)
+			}
+		}
+		wa.Commit(func(i int) bool { return res[i].Path != nil })
+		wb.CommitResults(res[:len(rb)])
+		for _, rel := range wa.NextReleases(2) {
+			rt.Disconnect(rel.In, rel.Out)
+		}
+		for _, rel := range wb.NextReleases(2) {
+			se.Disconnect(rel.In, rel.Out)
+		}
+	}
+	if wa.Live() != wb.Live() {
+		t.Fatalf("live sets diverged: %d vs %d", wa.Live(), wb.Live())
+	}
+}

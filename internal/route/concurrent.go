@@ -145,13 +145,8 @@ func (cr *ConcurrentRouter) probe(sc *scratch, in, out int32, attempt int) []int
 		for k := int32(0); k < ne; k++ {
 			idx := lo + (k+rot)%ne
 			w := heads[idx]
-			if c := allowed[idx]; c != 0 {
-				// Blocked, unless the only objection is that w is a
-				// terminal and w is the requested output: circuits may not
-				// pass through another input or output.
-				if c != graph.AdjTerminal || w != out {
-					continue
-				}
+			if !graph.SlotAdmits(allowed[idx], w, out) {
+				continue
 			}
 			if sc.seenEpoch[w] == sc.epoch {
 				continue

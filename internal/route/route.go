@@ -182,13 +182,8 @@ func (rt *Router) Connect(in, out int32) ([]int32, error) {
 		rt.queue = rt.queue[:len(rt.queue)-1]
 		for idx := start[v]; idx < start[v+1]; idx++ {
 			w := heads[idx]
-			if c := allowed[idx]; c != 0 {
-				// Blocked, unless the only objection is that w is a
-				// terminal and w is the requested output: circuits may
-				// not pass through another input or output.
-				if c != graph.AdjTerminal || w != out {
-					continue
-				}
+			if !graph.SlotAdmits(allowed[idx], w, out) {
+				continue
 			}
 			if seen[w] == epoch || busy[w] {
 				continue

@@ -1,0 +1,784 @@
+package route
+
+// ShardedEngine scales circuit routing past what one sequential Router can
+// serve by splitting each batch of connection requests across S shards while
+// keeping the accept/reject decision — and the established path — of every
+// request bit-identical to a sequential Router processing the same batch in
+// order. The mechanism is speculate-then-commit:
+//
+//   - Phase A (parallel, lock-free): input terminals are partitioned across
+//     shards; each shard speculatively routes its requests against the
+//     committed claim state at batch start (a read-only snapshot: claims
+//     only change in phase B), using the same depth-first path hunt as
+//     Router.Connect. Shards share the read-mostly CSR-slot traversal bytes
+//     (SetMasksShared) and the per-epoch output-reachability guide; each
+//     owns its probe scratch — the per-worker state pattern of
+//     montecarlo.BlockStarter scratches. A word-parallel prefilter
+//     (feasibility.go) can answer "which of these ≤64 pending requests have
+//     any idle path right now" in one lane sweep before any probing runs.
+//
+//   - Phase B (ordered commit): requests commit in input order through the
+//     ConcurrentRouter's CAS claim protocol. A speculative path whose probe
+//     never touched a vertex claimed earlier in the batch is provably the
+//     exact path the sequential Router would have found (the probe's step
+//     sequence is unchanged by the missing claims), so it commits as-is. A
+//     probe that did touch one — a cross-shard (or cross-request) conflict
+//     — falls back to a fresh probe against the live claim state, which is
+//     exactly the sequential Router's view at that request's turn. The
+//     shard partition is therefore a performance heuristic only;
+//     correctness never depends on it.
+//
+// Within a batch only connects happen, so the claimed-vertex set grows
+// monotonically: a request with no idle path at the batch-start snapshot
+// (prefilter or probe says so) has none at its turn either, and rejecting
+// it early is decision-identical to the sequential Router. This monotone
+// argument plus the untouched-probe argument make the whole engine
+// deterministic: results depend only on (committed state, request batch),
+// never on the shard count, the scheduler, or whether the prefilter ran.
+// The differential and invariance tests in sharded_test.go lock all of
+// this down.
+
+import (
+	"fmt"
+	"sync"
+
+	"ftcsn/internal/fault"
+	"ftcsn/internal/graph"
+)
+
+// PrefilterMode selects when ServeBatch runs the word-parallel feasibility
+// sweep ahead of per-request probing. The sweep is decision-neutral — it
+// rejects exactly the requests whose probe would fail on the same snapshot
+// — so the mode is a pure performance knob.
+type PrefilterMode uint8
+
+const (
+	// PrefilterAuto engages the sweep while rejects are common (≥1/16 of
+	// the previous batch): sweeping 64 doomed requests costs one pass over
+	// the CSR, where 64 failing probes would each scan their whole
+	// reachable cone. Under light load it stays out of the way.
+	PrefilterAuto PrefilterMode = iota
+	// PrefilterOff never sweeps; every request is probed.
+	PrefilterOff
+	// PrefilterOn sweeps every batch.
+	PrefilterOn
+)
+
+// ShardedStats counts, cumulatively, how batches were served; it is the
+// observability hook the stress tests use to prove the fast path dominates
+// and the fallback is actually exercised.
+type ShardedStats struct {
+	Batches, Requests, Accepted int64
+
+	// FastPath: speculative paths committed untouched (bit-identical to the
+	// sequential router's by the probe-trace argument). Fallbacks: requests
+	// re-probed at commit time after a conflict. Conflicts counts fallbacks
+	// that had a speculative path invalidated (the rest had none).
+	FastPath, Fallbacks, Conflicts int64
+
+	// Reject breakdown: endpoints busy/unusable at snapshot, prefilter
+	// lane-sweep verdicts, failed snapshot probes, and commit-time rejects
+	// (endpoint taken this batch, or fallback probe found nothing).
+	EndpointRejects, PrefilterRejects, ProbeRejects, CommitRejects int64
+
+	// PrefilterSweeps counts lane sweeps run (≤64 lanes each).
+	PrefilterSweeps int64
+}
+
+// request flags written in phase A (per batch slot). Both reject flags
+// mark decisions final at the batch-start snapshot — by claim monotonicity
+// the sequential router rejects these requests too.
+const (
+	flagNone uint8 = iota
+	// flagRejected: no idle path at the snapshot (prefilter or probe).
+	flagRejected
+	// flagRejectedEndpoint: an endpoint was busy or unusable, so the
+	// request was never probed (Result.Attempts stays 0).
+	flagRejectedEndpoint
+)
+
+// probeScratch is one worker's depth-first search state: epoch-stamped
+// visited marks, a reconstruction buffer, and an arena that speculative
+// paths and probe traces are appended into so a whole batch of probes
+// allocates nothing in steady state.
+type probeScratch struct {
+	seenEpoch []uint32
+	epoch     uint32
+	prevEdge  []int32
+	stack     []int32
+	rev       []int32
+	arena     []int32 // paths + visit traces; views stay valid across growth
+}
+
+// shard is one partition worker: the requests routed here are those whose
+// input terminal maps to this shard, and idx/scratch/feas are reused
+// across batches (the montecarlo.BlockStarter per-worker pattern).
+type shard struct {
+	idx  []int32 // request indices of this batch owned by this shard
+	surv []int32 // endpoint/prefilter survivors scratch
+	sc   probeScratch
+	fp   *lanePass // lazily built word-parallel feasibility scratch
+
+	// per-batch counters, folded into ShardedStats after the join so phase
+	// A needs no atomics.
+	endpointRejects, prefilterRejects, probeRejects, sweeps int64
+}
+
+// specEntry is a request's phase-A outcome: the speculative path and the
+// probe's visit trace (every vertex the search stamped), both views into
+// the owning shard's arena.
+type specEntry struct {
+	path  []int32
+	trace []int32
+}
+
+// ShardedEngine routes batches of connection requests over S shards with
+// sequential-router semantics. See the package comment at the top of this
+// file for the algorithm. The zero value is not usable; construct with
+// NewShardedEngine or NewRepairedShardedEngine. An engine is not safe for
+// concurrent use: ServeBatch/Disconnect/Reset calls must be serialized by
+// the caller (ServeBatch parallelizes internally).
+type ShardedEngine struct {
+	g  *graph.Graph
+	cr *ConcurrentRouter // claim protocol + shared traversal bytes
+
+	// Prefilter selects the feasibility-sweep policy (default
+	// PrefilterAuto). It may be changed between batches.
+	Prefilter PrefilterMode
+
+	shards []*shard
+
+	// per-request batch state, indexed by request position.
+	spec  []specEntry
+	flags []uint8
+
+	// commit-phase state: batchMark stamps vertices claimed during the
+	// current batch (so fast-path validation is one load per traced
+	// vertex), commitSc reprobes conflicts against live claims.
+	batchMark  []uint32
+	batchEpoch uint32
+	commitSc   probeScratch
+
+	// committed circuits, one live circuit per input terminal (an input is
+	// claimed while connected, so a second circuit cannot coexist).
+	liveOut  []int32   // per-vertex: output of the live circuit from this input, -1 = none
+	livePath [][]int32 // per-vertex: its claimed path
+	liveIns  []int32   // list of inputs with live circuits
+	livePos  []int32   // per-vertex: index into liveIns, -1 = none
+
+	pathPool [][]int32
+
+	wg sync.WaitGroup // phase-A join, hoisted to keep ServeBatch allocation-free
+
+	// Word-parallel routing guide, rebuilt per mask epoch: reachOut holds
+	// guideGroups lane words per vertex, bit (outIdx&63) of word
+	// (outIdx>>6) set iff an allowed-slot path leads from the vertex to
+	// that output, ignoring busy state. Probes prune descents the guide
+	// proves hopeless; pruning is exact, so decisions are unchanged. nil
+	// when the graph has no StageLayout or too many outputs.
+	reachOut    []uint64
+	guideGroups int
+	outIdx      []int32 // per-vertex output index, -1 = not an output
+
+	layoutOK bool
+
+	// auto-prefilter state: reject share of the previous batch, scaled by
+	// 16 (engaged when ≥ 1 per 16 requests).
+	autoEngaged bool
+
+	stats ShardedStats
+}
+
+// maxGuideGroups bounds the guide's memory at 8 lane words (512 outputs)
+// per vertex; larger networks route unguided.
+const maxGuideGroups = 8
+
+// parallelMinPerShard is the phase-A batch size (per shard) below which
+// spawning goroutines costs more than it saves; smaller batches speculate
+// inline. Purely a scheduling choice — results are identical either way.
+const parallelMinPerShard = 8
+
+// NewShardedEngine returns an engine over the fault-free network g with the
+// given shard count (clamped to ≥1).
+func NewShardedEngine(g *graph.Graph, shards int) *ShardedEngine {
+	return newShardedEngine(g, NewConcurrentRouter(g), shards)
+}
+
+// NewRepairedShardedEngine returns an engine over the network repaired from
+// inst by the paper's discard rule.
+func NewRepairedShardedEngine(inst *fault.Instance, shards int) *ShardedEngine {
+	return newShardedEngine(inst.G, NewConcurrentRepairedRouter(inst), shards)
+}
+
+func newShardedEngine(g *graph.Graph, cr *ConcurrentRouter, shards int) *ShardedEngine {
+	if shards < 1 {
+		shards = 1
+	}
+	n := g.NumVertices()
+	se := &ShardedEngine{
+		g:         g,
+		cr:        cr,
+		shards:    make([]*shard, shards),
+		batchMark: make([]uint32, n),
+		liveOut:   make([]int32, n),
+		livePath:  make([][]int32, n),
+		livePos:   make([]int32, n),
+		outIdx:    make([]int32, n),
+	}
+	for i := range se.shards {
+		se.shards[i] = &shard{sc: se.newProbeScratch()}
+	}
+	se.commitSc = se.newProbeScratch()
+	for v := range se.liveOut {
+		se.liveOut[v] = -1
+		se.livePos[v] = -1
+		se.outIdx[v] = -1
+	}
+	for i, v := range g.Outputs() {
+		se.outIdx[v] = int32(i)
+	}
+	_, se.layoutOK = g.StageLayout()
+	se.rebuildGuide()
+	return se
+}
+
+func (se *ShardedEngine) newProbeScratch() probeScratch {
+	n := se.g.NumVertices()
+	return probeScratch{
+		seenEpoch: make([]uint32, n),
+		prevEdge:  make([]int32, n),
+		stack:     make([]int32, 0, 256),
+	}
+}
+
+// Shards returns the shard count.
+func (se *ShardedEngine) Shards() int { return len(se.shards) }
+
+// Stats returns the cumulative serving counters.
+func (se *ShardedEngine) Stats() ShardedStats { return se.stats }
+
+// ActiveCircuits returns the number of committed circuits.
+func (se *ShardedEngine) ActiveCircuits() int { return len(se.liveIns) }
+
+// PathOf returns the committed path for (in, out), or nil. The slice is
+// pooled: valid only until the circuit is disconnected.
+func (se *ShardedEngine) PathOf(in, out int32) []int32 {
+	if in < 0 || int(in) >= len(se.liveOut) || se.liveOut[in] != out {
+		return nil
+	}
+	return se.livePath[in]
+}
+
+// SetMasksShared adopts the usable-vertex mask and the caller-maintained
+// CSR-slot traversal byte array — the same contract as
+// Router.SetMasksShared / ConcurrentRouter.SetMasksShared — releases every
+// committed circuit, and rebuilds the routing guide for the new mask
+// epoch. Callers that mutate the shared bytes in place (core.MaskUpdater)
+// MUST call this again before the next ServeBatch: unlike the routers,
+// which read the bytes live, the engine also derives the per-epoch guide
+// from them, and a stale guide would prune wrongly.
+func (se *ShardedEngine) SetMasksShared(vertexOK, edgeOK []bool, outAllowed []uint8) {
+	se.dropCircuits()
+	se.cr.SetMasksShared(vertexOK, edgeOK, outAllowed)
+	se.rebuildGuide()
+}
+
+// RefreshGuide rebuilds the output-reachability guide from the already
+// adopted traversal bytes without touching claims or circuits — the call
+// an incremental mask maintainer (core.MaskUpdater's in-place updates)
+// must make after mutating the shared bytes between batches, when the
+// repair change is known not to invalidate live circuits. Skipping it
+// after a byte change breaks the sequential-parity contract: the routers
+// read the bytes live, but a stale guide prunes wrongly.
+func (se *ShardedEngine) RefreshGuide() { se.rebuildGuide() }
+
+// Reset releases every committed circuit, keeping buffers and masks.
+func (se *ShardedEngine) Reset() {
+	for _, in := range se.liveIns {
+		se.cr.Release(se.livePath[in])
+		se.retirePath(se.livePath[in])
+		se.livePath[in] = nil
+		se.liveOut[in] = -1
+		se.livePos[in] = -1
+	}
+	se.liveIns = se.liveIns[:0]
+}
+
+// dropCircuits forgets circuit bookkeeping without touching claims (used
+// when SetMasksShared is about to clear the whole claim array anyway).
+func (se *ShardedEngine) dropCircuits() {
+	for _, in := range se.liveIns {
+		se.retirePath(se.livePath[in])
+		se.livePath[in] = nil
+		se.liveOut[in] = -1
+		se.livePos[in] = -1
+	}
+	se.liveIns = se.liveIns[:0]
+}
+
+// Disconnect releases the committed circuit between in and out.
+func (se *ShardedEngine) Disconnect(in, out int32) error {
+	if in < 0 || int(in) >= len(se.liveOut) || se.liveOut[in] != out {
+		return fmt.Errorf("route: no circuit (%d,%d)", in, out)
+	}
+	path := se.livePath[in]
+	se.cr.Release(path)
+	se.retirePath(path)
+	se.livePath[in] = nil
+	se.liveOut[in] = -1
+	// O(1) removal from the live-input list.
+	pos := se.livePos[in]
+	last := int32(len(se.liveIns) - 1)
+	moved := se.liveIns[last]
+	se.liveIns[pos] = moved
+	se.livePos[moved] = pos
+	se.liveIns = se.liveIns[:last]
+	se.livePos[in] = -1
+	return nil
+}
+
+// ServeBatch routes reqs with sequential-router semantics, reusing res
+// (grown as needed) and returning per-request results in input order.
+// Result.Path is pooled: valid until that circuit is disconnected.
+// Attempts is 0 for endpoint rejects, 1 for snapshot decisions (fast-path
+// commits and snapshot rejects), 2 for commit-time fallbacks.
+func (se *ShardedEngine) ServeBatch(reqs []Request, res []Result) []Result {
+	if cap(res) < len(reqs) {
+		res = make([]Result, len(reqs))
+	}
+	res = res[:len(reqs)]
+	if len(reqs) == 0 {
+		return res
+	}
+	se.stats.Batches++
+	se.stats.Requests += int64(len(reqs))
+
+	// Partition by input terminal; reset per-batch state.
+	S := len(se.shards)
+	for _, sh := range se.shards {
+		sh.idx = sh.idx[:0]
+		sh.sc.arena = sh.sc.arena[:0]
+	}
+	for i := range reqs {
+		in := int(reqs[i].In)
+		sh := se.shards[(in%S+S)%S]
+		sh.idx = append(sh.idx, int32(i))
+	}
+	se.spec = growSpec(se.spec, len(reqs))
+	se.flags = growFlags(se.flags, len(reqs))
+
+	sweep := se.Prefilter == PrefilterOn ||
+		(se.Prefilter == PrefilterAuto && se.autoEngaged)
+
+	// Phase A: lock-free speculation against the batch-start snapshot. The
+	// goroutine body is a capture-free literal (everything arrives as
+	// arguments) so spawning stays allocation-free.
+	if S > 1 && len(reqs) >= parallelMinPerShard*S {
+		se.wg.Add(S - 1)
+		for s := 1; s < S; s++ {
+			go func(wg *sync.WaitGroup, sh *shard, se *ShardedEngine, reqs []Request, sweep bool) {
+				defer wg.Done()
+				sh.speculate(se, reqs, sweep)
+			}(&se.wg, se.shards[s], se, reqs, sweep)
+		}
+		se.shards[0].speculate(se, reqs, sweep)
+		se.wg.Wait()
+	} else {
+		for _, sh := range se.shards {
+			sh.speculate(se, reqs, sweep)
+		}
+	}
+	for _, sh := range se.shards {
+		se.stats.EndpointRejects += sh.endpointRejects
+		se.stats.PrefilterRejects += sh.prefilterRejects
+		se.stats.ProbeRejects += sh.probeRejects
+		se.stats.PrefilterSweeps += sh.sweeps
+		sh.endpointRejects, sh.prefilterRejects, sh.probeRejects, sh.sweeps = 0, 0, 0, 0
+	}
+
+	// Phase B: ordered commit through the CAS claim protocol.
+	se.bumpBatchEpoch()
+	rejected := int64(0)
+	se.commitSc.arena = se.commitSc.arena[:0]
+	for i := range reqs {
+		rq := reqs[i]
+		res[i] = Result{Request: rq}
+		if f := se.flags[i]; f != flagNone {
+			if f == flagRejected {
+				res[i].Attempts = 1
+			}
+			rejected++
+			continue
+		}
+		sp := se.spec[i]
+		p := sp.path
+		ok := p != nil
+		if ok {
+			// Fast-path validation: if the probe's trace is disjoint from
+			// everything claimed this batch, the speculative search is
+			// step-for-step what a live probe would do now, so the path is
+			// exactly the sequential router's.
+			for _, v := range sp.trace {
+				if se.batchMark[v] == se.batchEpoch {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			se.claimOrdered(p)
+			se.commit(rq, p, &res[i], 1)
+			se.stats.FastPath++
+			continue
+		}
+		// Conflict (or no speculative path survived): re-probe against the
+		// live claim state — the sequential router's exact view at this
+		// request's turn — and claim through the same protocol.
+		if p != nil {
+			se.stats.Conflicts++
+		}
+		q := se.probe(&se.commitSc, rq.In, rq.Out)
+		if q == nil {
+			res[i].Attempts = 2
+			se.stats.CommitRejects++
+			rejected++
+			continue
+		}
+		se.claimOrdered(q)
+		se.commit(rq, q, &res[i], 2)
+		se.stats.Fallbacks++
+	}
+	// Auto-prefilter: engage next batch when ≥1/16 of this one rejected.
+	se.autoEngaged = rejected*16 >= int64(len(reqs))
+	return res
+}
+
+// claimOrdered claims every vertex of a path that is known conflict-free
+// (validated trace, or a path just probed against the live claim state).
+// It is ConcurrentRouter.tryClaim specialized to the ordered commit phase:
+// commit is the only mutator of the claim array, so a plain atomic store
+// replaces the compare-and-swap, and failure is impossible — still fully
+// visible to the lock-free phase-A readers of the next batch. The claims
+// it writes are released through the same cr.Release as everything else.
+func (se *ShardedEngine) claimOrdered(path []int32) {
+	for _, v := range path {
+		if se.cr.claims[v].Load() != 0 {
+			panic("route: ordered commit claim conflicted; trace validation broken")
+		}
+		se.cr.claims[v].Store(1)
+	}
+}
+
+// commit installs a freshly claimed path as a live circuit and fills the
+// request's result.
+func (se *ShardedEngine) commit(rq Request, p []int32, r *Result, attempts int) {
+	path := se.newPath(len(p))
+	copy(path, p)
+	for _, v := range path {
+		se.batchMark[v] = se.batchEpoch
+	}
+	se.liveOut[rq.In] = rq.Out
+	se.livePath[rq.In] = path
+	se.livePos[rq.In] = int32(len(se.liveIns))
+	se.liveIns = append(se.liveIns, rq.In)
+	r.Path = path
+	r.Attempts = attempts
+	se.stats.Accepted++
+}
+
+func (se *ShardedEngine) bumpBatchEpoch() {
+	se.batchEpoch++
+	if se.batchEpoch == 0 {
+		clear(se.batchMark)
+		se.batchEpoch = 1
+	}
+}
+
+// speculate is phase A for one shard: screen endpoints, optionally run the
+// word-parallel feasibility sweep, then probe the survivors against the
+// snapshot, recording each probe's visit trace for commit validation.
+func (sh *shard) speculate(se *ShardedEngine, reqs []Request, sweep bool) {
+	live := sh.surv[:0]
+	claims := se.cr.claims
+	for _, ri := range sh.idx {
+		rq := reqs[ri]
+		se.spec[ri] = specEntry{}
+		if !se.cr.usableVertex(rq.In) || !se.cr.usableVertex(rq.Out) ||
+			claims[rq.In].Load() != 0 || claims[rq.Out].Load() != 0 {
+			se.flags[ri] = flagRejectedEndpoint
+			sh.endpointRejects++
+			continue
+		}
+		se.flags[ri] = flagNone
+		live = append(live, ri)
+	}
+	if sweep && se.layoutOK && len(live) > 0 {
+		if sh.fp == nil {
+			sh.fp = newLanePass(se.g)
+		}
+		kept := live[:0]
+		for base := 0; base < len(live); base += laneWidth {
+			group := live[base:min(base+laneWidth, len(live))]
+			feas := sh.fp.sweep(se, reqs, group)
+			sh.sweeps++
+			for l, ri := range group {
+				if feas>>uint(l)&1 == 0 {
+					se.flags[ri] = flagRejected
+					sh.prefilterRejects++
+					continue
+				}
+				kept = append(kept, ri)
+			}
+		}
+		live = kept
+	}
+	for _, ri := range live {
+		rq := reqs[ri]
+		path, trace := se.probeRecorded(&sh.sc, rq.In, rq.Out)
+		if path == nil {
+			se.flags[ri] = flagRejected
+			sh.probeRejects++
+			continue
+		}
+		se.spec[ri] = specEntry{path: path, trace: trace}
+	}
+	sh.surv = live[:0]
+}
+
+// probe runs the same greedy depth-first idle-path hunt as Router.Connect,
+// reading the CAS claim array as the busy set and pruning descents the
+// output-reachability guide proves hopeless (exact, so completeness is
+// unchanged). The found path is appended to sc.arena; the returned view
+// stays valid across arena growth. Returns nil when no idle path exists
+// under the claim state read during the search.
+func (se *ShardedEngine) probe(sc *probeScratch, in, out int32) []int32 {
+	path, _ := se.probeInto(sc, in, out, false)
+	return path
+}
+
+// probeRecorded is probe, additionally returning the trace of every vertex
+// the search stamped (the path's vertices are among them). The commit phase
+// uses the trace to prove a speculative search is untouched by later
+// claims.
+func (se *ShardedEngine) probeRecorded(sc *probeScratch, in, out int32) (path, trace []int32) {
+	return se.probeInto(sc, in, out, true)
+}
+
+func (se *ShardedEngine) probeInto(sc *probeScratch, in, out int32, record bool) (path, trace []int32) {
+	claims := se.cr.claims
+	if !se.cr.usableVertex(in) || !se.cr.usableVertex(out) ||
+		claims[in].Load() != 0 || claims[out].Load() != 0 {
+		return nil, nil
+	}
+	sc.epoch++
+	if sc.epoch == 0 {
+		clear(sc.seenEpoch)
+		sc.epoch = 1
+	}
+	start, edges, heads := se.g.CSROut()
+	allowed := se.cr.allowed
+	guide := se.reachOut
+	groups := se.guideGroups
+	var gslot int
+	var gbit uint64
+	if guide != nil {
+		oi := se.outIdx[out]
+		if oi < 0 {
+			guide = nil
+		} else {
+			gslot = int(oi) >> 6
+			gbit = 1 << (uint(oi) & 63)
+		}
+	}
+	seen, epoch := sc.seenEpoch, sc.epoch
+	seen[in] = epoch
+	sc.stack = append(sc.stack[:0], in)
+	// The recorded trace holds every vertex the search EXPANDED (popped and
+	// slot-scanned), plus the endpoints. That set suffices for the commit
+	// phase's step-identity argument: a vertex that was merely discovered
+	// and stamped, but never popped before the path completed, influences
+	// neither which vertices get expanded nor the prevEdge chain of the
+	// found path — a later claim on it leaves a live re-run of this search
+	// identical. (A claim on a discovered-only vertex makes the live search
+	// skip it at discovery; since it never reached the stack top, the pop
+	// sequence and the found path are unchanged.)
+	sc.rev = sc.rev[:0]
+	found := false
+	for len(sc.stack) > 0 && !found {
+		v := sc.stack[len(sc.stack)-1]
+		sc.stack = sc.stack[:len(sc.stack)-1]
+		if record {
+			sc.rev = append(sc.rev, v)
+		}
+		for idx := start[v]; idx < start[v+1]; idx++ {
+			w := heads[idx]
+			c := allowed[idx]
+			if !graph.SlotAdmits(c, w, out) {
+				continue
+			}
+			if c == 0 && guide != nil && guide[int(w)*groups+gslot]&gbit == 0 {
+				continue
+			}
+			if seen[w] == epoch || claims[w].Load() != 0 {
+				continue
+			}
+			seen[w] = epoch
+			sc.prevEdge[w] = edges[idx]
+			if w == out {
+				found = true
+				break
+			}
+			sc.stack = append(sc.stack, w)
+		}
+	}
+	if !found {
+		return nil, nil
+	}
+	if record {
+		sc.rev = append(sc.rev, out)
+	}
+	// Lay out [path][trace] contiguously in the arena; both views stay
+	// valid because later appends only write past them (or reallocate).
+	// The stack is free after the search, so it holds the reversed path.
+	sc.stack = sc.stack[:0]
+	for v := out; ; {
+		sc.stack = append(sc.stack, v)
+		if v == in {
+			break
+		}
+		v = se.g.EdgeFrom(sc.prevEdge[v])
+	}
+	base := len(sc.arena)
+	for i := len(sc.stack) - 1; i >= 0; i-- {
+		sc.arena = append(sc.arena, sc.stack[i])
+	}
+	path = sc.arena[base:len(sc.arena):len(sc.arena)]
+	if record {
+		tbase := len(sc.arena)
+		sc.arena = append(sc.arena, sc.rev...)
+		trace = sc.arena[tbase:len(sc.arena):len(sc.arena)]
+	}
+	return path, trace
+}
+
+// newPath returns an n-element pooled path slice.
+func (se *ShardedEngine) newPath(n int) []int32 {
+	for len(se.pathPool) > 0 {
+		last := len(se.pathPool) - 1
+		p := se.pathPool[last]
+		se.pathPool = se.pathPool[:last]
+		if cap(p) >= n {
+			return p[:n]
+		}
+	}
+	return make([]int32, n)
+}
+
+func (se *ShardedEngine) retirePath(p []int32) {
+	se.pathPool = append(se.pathPool, p)
+}
+
+// rebuildGuide recomputes the per-epoch output-reachability words from the
+// current traversal bytes: one pass over vertices in reverse stage order
+// (valid because StageLayout holds), OR-ing successor words through
+// allowed slots, with AdjTerminal slots contributing the head's output
+// bit. O(E·groups) word operations.
+func (se *ShardedEngine) rebuildGuide() {
+	nOut := len(se.g.Outputs())
+	groups := (nOut + 63) >> 6
+	if !se.layoutOK || nOut == 0 || groups > maxGuideGroups {
+		se.reachOut = nil
+		se.guideGroups = 0
+		return
+	}
+	n := se.g.NumVertices()
+	if cap(se.reachOut) < n*groups {
+		se.reachOut = make([]uint64, n*groups)
+	} else {
+		se.reachOut = se.reachOut[:n*groups]
+		clear(se.reachOut)
+	}
+	se.guideGroups = groups
+	start, _, heads := se.g.CSROut()
+	allowed := se.cr.allowed
+	for v := int32(n) - 1; v >= 0; v-- {
+		row := se.reachOut[int(v)*groups : int(v)*groups+groups]
+		if oi := se.outIdx[v]; oi >= 0 {
+			row[int(oi)>>6] |= 1 << (uint(oi) & 63)
+		}
+		for idx := start[v]; idx < start[v+1]; idx++ {
+			c := allowed[idx]
+			w := heads[idx]
+			if c == 0 {
+				wrow := se.reachOut[int(w)*groups : int(w)*groups+groups]
+				for g := range row {
+					row[g] |= wrow[g]
+				}
+			} else if c == graph.AdjTerminal {
+				if oi := se.outIdx[w]; oi >= 0 {
+					row[int(oi)>>6] |= 1 << (uint(oi) & 63)
+				}
+			}
+		}
+	}
+}
+
+// VerifyState checks that the CAS claim array is exactly the union of the
+// committed circuits' vertices and that those circuits are vertex-disjoint
+// valid paths — the engine's analogue of Router.VerifyInvariants. Used by
+// tests and the stress harness.
+func (se *ShardedEngine) VerifyState() error {
+	owner := make(map[int32]int32, len(se.liveIns)*8)
+	for _, in := range se.liveIns {
+		path := se.livePath[in]
+		out := se.liveOut[in]
+		if len(path) < 2 || path[0] != in || path[len(path)-1] != out {
+			return fmt.Errorf("route: malformed committed path for (%d,%d)", in, out)
+		}
+		for i, v := range path {
+			if prev, dup := owner[v]; dup {
+				return fmt.Errorf("route: vertex %d on circuits of inputs %d and %d", v, prev, in)
+			}
+			owner[v] = in
+			if !se.cr.Claimed(v) {
+				return fmt.Errorf("route: committed path vertex %d not claimed", v)
+			}
+			if i > 0 {
+				ok := false
+				for _, e := range se.g.OutEdges(path[i-1]) {
+					if se.g.EdgeTo(e) == v {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					return fmt.Errorf("route: no switch %d->%d on committed path", path[i-1], v)
+				}
+			}
+		}
+	}
+	for v := 0; v < se.g.NumVertices(); v++ {
+		if se.cr.Claimed(int32(v)) {
+			if _, ok := owner[int32(v)]; !ok {
+				return fmt.Errorf("route: vertex %d claimed but on no circuit", v)
+			}
+		}
+	}
+	return nil
+}
+
+// growSpec resizes without clearing: phase A overwrites every slot (the
+// shard partition covers all request indices) before phase B reads any.
+func growSpec(s []specEntry, n int) []specEntry {
+	if cap(s) < n {
+		return make([]specEntry, n)
+	}
+	return s[:n]
+}
+
+func growFlags(s []uint8, n int) []uint8 {
+	if cap(s) < n {
+		return make([]uint8, n)
+	}
+	return s[:n]
+}
