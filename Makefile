@@ -36,6 +36,7 @@ FUZZTIME ?= 10s
 FUZZERS := \
 	./internal/core:FuzzIncrementalRepairMasks \
 	./internal/core:FuzzBatchedMajorityAccess \
+	./internal/core:FuzzBatchChurnVsPerOp \
 	./internal/route:FuzzShardedVsSequential
 
 fuzz-smoke:
@@ -51,7 +52,7 @@ fuzz-smoke:
 # bench-check gates against the committed baseline (>15% ns/op regression
 # or any allocs/op increase fails), bench-baseline refreshes the baseline.
 
-BENCH_GATED := BenchmarkShardedChurn|BenchmarkGreedyConnect|BenchmarkEvaluatorTrial|BenchmarkEvaluatorBatchTrial|BenchmarkEvaluatorBatchCertTrial|BenchmarkMonteCarloTheorem2Engine|BenchmarkMonteCarloCertificateEngine|BenchmarkWitnessChecks
+BENCH_GATED := BenchmarkShardedChurn|BenchmarkGreedyConnect|BenchmarkEvaluatorTrial|BenchmarkEvaluatorBatchTrial|BenchmarkEvaluatorBatchCertTrial|BenchmarkEvaluatorShardedChurnTrial|BenchmarkMonteCarloTheorem2Engine|BenchmarkMonteCarloCertificateEngine|BenchmarkPooledE8WitnessSweep|BenchmarkPooledE10CertSweep|BenchmarkWitnessChecks
 BENCH_COUNT ?= 6
 BENCH_TIME ?= 0.6s
 

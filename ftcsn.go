@@ -72,6 +72,25 @@ type Router = route.Router
 // shard count. See internal/route and DESIGN.md §2.7.
 type ShardedEngine = route.ShardedEngine
 
+// ConcurrentRouter serves batches with one CAS-claiming goroutine per
+// worker — the distributed-path-selection analogue measured by E9.
+type ConcurrentRouter = route.ConcurrentRouter
+
+// Engine is the uniform seam over the three path-hunting engines (Router,
+// ConcurrentRouter, ShardedEngine): ConnectBatch / Disconnect / PathOf /
+// Reset / Stats plus shared-mask adoption. The Theorem-2 trial pipeline
+// drives its churn through this seam (Evaluator.SetChurnEngine); see
+// DESIGN.md §2.8.
+type Engine = route.Engine
+
+// EngineStats is the engine-neutral cumulative serving record.
+type EngineStats = route.EngineStats
+
+// EvaluatorPool recycles per-worker trial scratch arenas across the
+// networks of a multi-network experiment; see DESIGN.md §2.8 for the
+// ownership rules.
+type EvaluatorPool = core.EvaluatorPool
+
 // RouteRequest asks for a circuit In → Out; RouteResult reports one
 // request's outcome (Path == nil means rejected).
 type RouteRequest = route.Request
@@ -118,6 +137,15 @@ func Inject(g *Graph, m FaultModel, seed uint64) *FaultInstance {
 // NewEvaluator returns a reusable trial evaluator for nw; repeated
 // Evaluate / EvaluateInto calls allocate nothing in steady state.
 func NewEvaluator(nw *Network) *Evaluator { return core.NewEvaluator(nw) }
+
+// NewEvaluatorPool returns a scratch pool for multi-network experiment
+// sweeps: pool.NewEvaluator(nw) draws a pooled evaluator, Release recycles
+// its buffers for the next network.
+func NewEvaluatorPool() *EvaluatorPool { return core.NewEvaluatorPool() }
+
+// NewConcurrentRouter returns a CAS-claiming batch router over the
+// fault-free network (set Workers for the engine-seam goroutine count).
+func NewConcurrentRouter(g *Graph) *ConcurrentRouter { return route.NewConcurrentRouter(g) }
 
 // NewRouter returns a greedy circuit router over the fault-free network.
 func NewRouter(g *Graph) *Router { return route.NewRouter(g) }

@@ -125,3 +125,51 @@ func TestHierarchyContainment(t *testing.T) {
 		}
 	}
 }
+
+func TestEngineSeamFacade(t *testing.T) {
+	nw, err := Build(DefaultParams(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(nw.Inputs())
+	reqs := make([]RouteRequest, n)
+	for i := range reqs {
+		reqs[i] = RouteRequest{In: nw.Inputs()[i], Out: nw.Outputs()[(i+1)%n]}
+	}
+	cr := NewConcurrentRouter(nw.G)
+	cr.Workers = 2
+	engines := []Engine{NewRouter(nw.G), cr, NewShardedEngine(nw.G, 4)}
+	for ei, eng := range engines {
+		res := eng.ConnectBatch(reqs, nil)
+		st := eng.Stats()
+		if st.Requests != int64(n) || st.Accepted == 0 {
+			t.Fatalf("engine %d: stats %+v", ei, st)
+		}
+		for i := range res {
+			if res[i].Path != nil {
+				if err := eng.Disconnect(reqs[i].In, reqs[i].Out); err != nil {
+					t.Fatalf("engine %d: %v", ei, err)
+				}
+			}
+		}
+	}
+}
+
+func TestEvaluatorPoolFacade(t *testing.T) {
+	pool := NewEvaluatorPool()
+	for round := 0; round < 2; round++ {
+		nw, err := Build(DefaultParams(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := pool.NewEvaluator(nw)
+		out := ev.Evaluate(Symmetric(0.001), 7, 100)
+		if !out.MajorityAccess || out.ChurnFailures != 0 {
+			t.Fatalf("round %d: %+v", round, out)
+		}
+		ev.Release()
+	}
+	if created, reused := pool.Arenas(); created != 1 || reused != 1 {
+		t.Fatalf("pool accounting: created=%d reused=%d", created, reused)
+	}
+}

@@ -1,0 +1,145 @@
+// Package arena provides a typed bump allocator for the per-worker scratch
+// of the trial pipeline.
+//
+// Multi-network experiments (E8's crossover sweep, E10's ablations) build a
+// sequence of networks and, for each, a per-worker set of scratch buffers —
+// fault instances, repair masks, access-checker rows, router state — whose
+// sizes are O(V) or O(E) of that network. Allocating them fresh for every
+// network churns the heap with short-lived multi-megabyte slices. An Arena
+// instead owns one growable slab per element type; taking a slice bumps an
+// offset, and Reset reclaims everything at once so the next network reuses
+// the same memory (the slabs converge to the sizes the largest graph
+// needs). core.EvaluatorPool hands one Arena to each Monte-Carlo worker and
+// recycles it between networks.
+//
+// Every take returns zeroed memory, so an arena-backed constructor behaves
+// bit-for-bit like its make-based counterpart — reuse must never leak one
+// network's state into the next trial's buffers.
+//
+// Ownership rules (enforced by discipline, documented in DESIGN.md §2.8):
+//
+//   - An Arena is single-owner: exactly one goroutine uses it at a time.
+//   - Reset invalidates every slice previously taken; the owner must drop
+//     all of them (in practice: the whole scratch object) first.
+//   - A nil *Arena is valid everywhere and falls back to plain make, so
+//     "In"-suffixed constructors serve pooled and unpooled callers alike.
+package arena
+
+// slab is one element type's backing store. Growth allocates a fresh
+// larger slab; slices taken earlier keep the old backing (still valid —
+// the arena never moves memory it handed out), and Reset retains only the
+// newest, largest slab.
+type slab[T any] struct {
+	buf []T
+	off int
+}
+
+func (s *slab[T]) take(n int) []T {
+	if n < 0 {
+		panic("arena: negative length")
+	}
+	if s.off+n > len(s.buf) {
+		c := 2 * len(s.buf)
+		if c < s.off+n {
+			c = s.off + n
+		}
+		if c < 1024 {
+			c = 1024
+		}
+		s.buf = make([]T, c)
+		s.off = 0
+	}
+	out := s.buf[s.off : s.off+n : s.off+n]
+	s.off += n
+	clear(out) // reused slab memory may hold a previous cycle's state
+	return out
+}
+
+func (s *slab[T]) reset() { s.off = 0 }
+
+// Arena is a set of typed bump slabs. The zero value is ready to use; a
+// nil *Arena is also valid and allocates with make (see the package
+// comment).
+type Arena struct {
+	bools slab[bool]
+	bytes slab[uint8]
+	i8s   slab[int8]
+	i32s  slab[int32]
+	u32s  slab[uint32]
+	u64s  slab[uint64]
+	ints  slab[int]
+}
+
+// New returns an empty arena.
+func New() *Arena { return &Arena{} }
+
+// Reset reclaims every outstanding slice at once. All slices taken since
+// the previous Reset become invalid; see the ownership rules above.
+func (a *Arena) Reset() {
+	if a == nil {
+		return
+	}
+	a.bools.reset()
+	a.bytes.reset()
+	a.i8s.reset()
+	a.i32s.reset()
+	a.u32s.reset()
+	a.u64s.reset()
+	a.ints.reset()
+}
+
+// Bools takes a zeroed []bool of length n.
+func (a *Arena) Bools(n int) []bool {
+	if a == nil {
+		return make([]bool, n)
+	}
+	return a.bools.take(n)
+}
+
+// Bytes takes a zeroed []uint8 of length n.
+func (a *Arena) Bytes(n int) []uint8 {
+	if a == nil {
+		return make([]uint8, n)
+	}
+	return a.bytes.take(n)
+}
+
+// I8 takes a zeroed []int8 of length n.
+func (a *Arena) I8(n int) []int8 {
+	if a == nil {
+		return make([]int8, n)
+	}
+	return a.i8s.take(n)
+}
+
+// I32 takes a zeroed []int32 of length n.
+func (a *Arena) I32(n int) []int32 {
+	if a == nil {
+		return make([]int32, n)
+	}
+	return a.i32s.take(n)
+}
+
+// U32 takes a zeroed []uint32 of length n.
+func (a *Arena) U32(n int) []uint32 {
+	if a == nil {
+		return make([]uint32, n)
+	}
+	return a.u32s.take(n)
+}
+
+// U64 takes a zeroed []uint64 of length n.
+func (a *Arena) U64(n int) []uint64 {
+	if a == nil {
+		return make([]uint64, n)
+	}
+	return a.u64s.take(n)
+}
+
+// Ints takes a zeroed []int of length n.
+func (a *Arena) Ints(n int) []int {
+	if a == nil {
+		return make([]int, n)
+	}
+	return a.ints.take(n)
+}

@@ -1,0 +1,89 @@
+package arena
+
+import "testing"
+
+func TestTakeZeroedAndDisjoint(t *testing.T) {
+	a := New()
+	x := a.I32(100)
+	y := a.I32(50)
+	if len(x) != 100 || len(y) != 50 {
+		t.Fatalf("lengths: %d, %d", len(x), len(y))
+	}
+	for i := range x {
+		x[i] = int32(i + 1)
+	}
+	for _, v := range y {
+		if v != 0 {
+			t.Fatal("second take not zeroed")
+		}
+	}
+	for i := range y {
+		y[i] = -1
+	}
+	for i, v := range x {
+		if v != int32(i+1) {
+			t.Fatalf("takes overlap: x[%d] = %d", i, v)
+		}
+	}
+	// Full-slice appends must not spill into the neighbor: takes are
+	// capacity-clamped.
+	x = append(x, 7)
+	if y[0] != -1 {
+		t.Fatal("append to x overwrote y")
+	}
+}
+
+func TestResetReusesAndZeroes(t *testing.T) {
+	a := New()
+	x := a.U64(1 << 12)
+	for i := range x {
+		x[i] = ^uint64(0)
+	}
+	a.Reset()
+	y := a.U64(1 << 12)
+	if &x[0] != &y[0] {
+		t.Error("reset did not reuse the slab")
+	}
+	for i, v := range y {
+		if v != 0 {
+			t.Fatalf("reused memory not zeroed at %d", i)
+		}
+	}
+}
+
+func TestGrowthKeepsOldSlicesValid(t *testing.T) {
+	a := New()
+	x := a.Bytes(10)
+	for i := range x {
+		x[i] = 0xAB
+	}
+	_ = a.Bytes(1 << 20) // force a slab replacement
+	for i, v := range x {
+		if v != 0xAB {
+			t.Fatalf("pre-growth slice corrupted at %d", i)
+		}
+	}
+}
+
+func TestNilArenaFallsBackToMake(t *testing.T) {
+	var a *Arena
+	x := a.Bools(8)
+	if len(x) != 8 {
+		t.Fatal("nil arena Bools")
+	}
+	a.Reset() // must not panic
+	if got := a.Ints(3); len(got) != 3 {
+		t.Fatal("nil arena Ints")
+	}
+}
+
+func TestAllTypesAndZeroLength(t *testing.T) {
+	a := New()
+	if len(a.Bools(0)) != 0 || len(a.Bytes(0)) != 0 || len(a.I8(0)) != 0 ||
+		len(a.I32(0)) != 0 || len(a.U32(0)) != 0 || len(a.U64(0)) != 0 || len(a.Ints(0)) != 0 {
+		t.Fatal("zero-length takes")
+	}
+	if len(a.I8(5)) != 5 || len(a.U32(5)) != 5 || len(a.Ints(5)) != 5 {
+		t.Fatal("typed takes")
+	}
+}

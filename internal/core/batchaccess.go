@@ -3,6 +3,7 @@ package core
 import (
 	"math/bits"
 
+	"ftcsn/internal/arena"
 	"ftcsn/internal/bitset"
 	"ftcsn/internal/graph"
 )
@@ -49,10 +50,16 @@ type BatchAccessChecker struct {
 // whose graph is not stage-ordered (see graph.StageLayout) yield a checker
 // whose MajorityAccessInto always reports unsupported.
 func NewBatchAccessChecker(nw *Network) *BatchAccessChecker {
+	return NewBatchAccessCheckerIn(nw, nil)
+}
+
+// NewBatchAccessCheckerIn is NewBatchAccessChecker drawing the lane rows —
+// the checker's one large buffer — from a (nil a allocates normally).
+func NewBatchAccessCheckerIn(nw *Network, a *arena.Arena) *BatchAccessChecker {
 	bc := &BatchAccessChecker{nw: nw, lanes: 64}
 	if first, ok := nw.G.StageLayout(); ok {
 		bc.first = first
-		bc.rows = bitset.New(64 * nw.G.NumVertices())
+		bc.rows = bitset.NewIn(64*nw.G.NumVertices(), a)
 	}
 	return bc
 }

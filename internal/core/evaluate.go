@@ -1,7 +1,9 @@
 package core
 
 import (
+	"ftcsn/internal/arena"
 	"ftcsn/internal/fault"
+	"ftcsn/internal/netsim"
 	"ftcsn/internal/rng"
 	"ftcsn/internal/route"
 )
@@ -68,28 +70,72 @@ type Evaluator struct {
 	churn ChurnScratch
 	r     rng.RNG
 
+	// Churn engine seam: the batched pipeline (EvaluateNextInto) drives
+	// its churn phase through eng — by default the evaluator's own
+	// sequential router, swappable for any route.Engine with
+	// sequential-batch semantics via SetChurnEngine (the sharded engine's
+	// guided probes make n=64 trials markedly faster; decisions and paths
+	// are bit-identical either way). cd generates the batch-shaped op
+	// stream; engDirty tracks whether the shared traversal bytes were
+	// edited in place since the engine last derived state from them.
+	eng      route.Engine
+	cd       netsim.ChurnDriver
+	engDirty bool
+
 	// Batched-block engine: the injector advances inst between trials by
-	// diffs, the mask updater keeps masks (and the router's shared view of
+	// diffs, the mask updater keeps masks (and the engines' shared view of
 	// them) current from those diffs, and synced tracks whether the
-	// inst/masks/router triple is in that incrementally-maintained state.
+	// inst/masks/engine triple is in that incrementally-maintained state.
 	batch  *fault.BatchInjector
 	mu     *MaskUpdater
 	synced bool
+
+	// Pool bookkeeping (see EvaluatorPool): the arena backing this
+	// evaluator's buffers, returned by Release.
+	pool *EvaluatorPool
+	a    *arena.Arena
 }
 
 // NewEvaluator returns a reusable trial evaluator for nw.
-func NewEvaluator(nw *Network) *Evaluator {
-	rt := route.NewRouter(nw.G)
+func NewEvaluator(nw *Network) *Evaluator { return NewEvaluatorIn(nw, nil) }
+
+// NewEvaluatorIn is NewEvaluator drawing every O(V)/O(E) buffer from a
+// (nil a allocates normally) — the pooled form behind EvaluatorPool. The
+// repair masks and traversal bytes are pre-sized here so the lazy
+// grow-on-first-use paths never allocate behind the arena's back.
+func NewEvaluatorIn(nw *Network, a *arena.Arena) *Evaluator {
+	rt := route.NewRouterIn(nw.G, a)
 	rt.EnablePathReuse()
-	return &Evaluator{
+	ev := &Evaluator{
 		nw:    nw,
 		inst:  fault.NewInstance(nw.G),
-		fsc:   fault.NewScratch(nw.G),
-		ac:    NewAccessChecker(nw),
+		fsc:   fault.NewScratchIn(nw.G, a),
+		ac:    NewAccessCheckerIn(nw, a),
 		rt:    rt,
-		batch: fault.NewBatchInjector(nw.G),
-		mu:    NewMaskUpdater(nw.G),
+		batch: fault.NewBatchInjectorIn(nw.G, a),
+		mu:    NewMaskUpdaterIn(nw.G, a),
 	}
+	ev.eng = rt
+	nV, nE := nw.G.NumVertices(), nw.G.NumEdges()
+	ev.masks.VertexOK = a.Bools(nV)
+	ev.masks.EdgeOK = a.Bools(nE)
+	ev.masks.OutAllowed = a.Bytes(nE)
+	ev.masks.InAllowed = a.Bytes(nE)
+	return ev
+}
+
+// SetChurnEngine replaces the engine the batched pipeline's churn phase
+// runs on (default: the evaluator's sequential router). The engine must
+// be over the evaluator's graph and have sequential-batch semantics
+// (route.Router, route.ShardedEngine) for outcomes to stay bit-identical;
+// it is adopted lazily — the next StartBlock hands it the shared masks.
+// On a pooled evaluator the engine borrows arena-backed mask slices, so
+// Release detaches them (SetMasksShared(nil, nil, nil)): using the engine
+// after the evaluator's Release fails loudly instead of reading recycled
+// memory.
+func (ev *Evaluator) SetChurnEngine(eng route.Engine) {
+	ev.eng = eng
+	ev.synced = false
 }
 
 // Evaluate runs one trial seeded like Network.Evaluate: switch states and
@@ -173,7 +219,8 @@ func (ev *Evaluator) resync() {
 	}
 	ev.batch.Rebase(ev.inst)
 	ev.mu.Init(ev.inst, &ev.masks)
-	ev.rt.SetMasksShared(ev.masks.VertexOK, ev.masks.EdgeOK, ev.masks.OutAllowed)
+	ev.eng.SetMasksShared(ev.masks.VertexOK, ev.masks.EdgeOK, ev.masks.OutAllowed)
+	ev.engDirty = false
 	ev.synced = true
 }
 
@@ -184,7 +231,9 @@ func (ev *Evaluator) resync() {
 func (ev *Evaluator) EvaluateNextInto(out *TrialOutcome, churnOps int) {
 	ev.requireSynced()
 	diff := ev.batch.ApplyNext(ev.inst)
-	ev.mu.Apply(ev.inst, &ev.masks, diff)
+	if len(ev.mu.Apply(ev.inst, &ev.masks, diff)) > 0 {
+		ev.engDirty = true
+	}
 	ev.r.SetState(ev.batch.RNGState(ev.batch.Applied()))
 	*out = TrialOutcome{
 		FailedSwitches: ev.inst.NumFailed(),
@@ -201,9 +250,18 @@ func (ev *Evaluator) EvaluateNextInto(out *TrialOutcome, churnOps int) {
 	out.MinOutputAccess = minOf(ev.rep.OutputAccess)
 
 	if churnOps > 0 {
-		ev.rt.Reset() // masks are shared and already current; drop circuits only
+		// Masks are shared and already current: drop circuits, let the
+		// engine refresh anything it derives from the edited bytes (the
+		// sharded engine's routing guide), and drive the batch-shaped op
+		// stream — bit-identical to per-op ChurnWith on the router (see
+		// netsim.ChurnDriver and the differential harness).
+		ev.eng.Reset()
+		if ev.engDirty {
+			ev.eng.MasksChanged()
+			ev.engDirty = false
+		}
 		out.ChurnConnects, out.ChurnFailures, out.ChurnPathTotal =
-			ChurnWith(ev.rt, ev.nw.Inputs(), ev.nw.Outputs(), churnOps, &ev.r, &ev.churn)
+			ev.cd.Run(ev.eng, ev.nw.Inputs(), ev.nw.Outputs(), churnOps, &ev.r)
 	}
 	out.Success = !out.Shorted && out.MajorityAccess && out.ChurnFailures == 0
 }
@@ -214,7 +272,9 @@ func (ev *Evaluator) EvaluateNextInto(out *TrialOutcome, churnOps int) {
 func (ev *Evaluator) EvaluateNextCertInto(out *TrialOutcome) {
 	ev.requireSynced()
 	diff := ev.batch.ApplyNext(ev.inst)
-	ev.mu.Apply(ev.inst, &ev.masks, diff)
+	if len(ev.mu.Apply(ev.inst, &ev.masks, diff)) > 0 {
+		ev.engDirty = true
+	}
 	*out = TrialOutcome{
 		FailedSwitches: ev.inst.NumFailed(),
 		OpenSwitches:   ev.inst.NumOpen(),

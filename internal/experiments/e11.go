@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"ftcsn/internal/benes"
+	"ftcsn/internal/core"
 	"ftcsn/internal/graph"
 	"ftcsn/internal/hammock"
 	"ftcsn/internal/montecarlo"
@@ -36,13 +37,16 @@ func E11Substitution(mode Mode) Result {
 	depthPlain, _ := bn.G.Depth()
 	depthSub, _ := sub.Depth()
 
+	// Plain and substituted networks alternate below; one pool serves both.
+	pool := core.NewEvaluatorPool()
 	measure := func(g *graph.Graph, eps float64, seed uint64) float64 {
-		p := montecarlo.RunBoolWith(montecarlo.Config{Trials: trialsN, Seed: seed},
-			batchWitnessScratchFor(g, eps),
+		p, scs := montecarlo.RunBoolWithScratches(montecarlo.Config{Trials: trialsN, Seed: seed},
+			batchWitnessScratchFor(pool, g, eps),
 			func(_ *rng.RNG, s *batchWitnessScratch) bool {
 				s.next()
 				return s.survives()
 			})
+		releaseWitnessScratches(scs)
 		return p.Estimate()
 	}
 

@@ -24,6 +24,7 @@ func E9Routing(mode Mode) Result {
 	}
 	tab := stats.NewTable("ν", "n", "ε", "trials", "churn connects", "blocked", "mean path len")
 	trialsN := mode.trials(20, 100)
+	pool := core.NewEvaluatorPool()
 	nus := []int{1, 2}
 	if mode == Full {
 		nus = append(nus, 3)
@@ -39,7 +40,7 @@ func E9Routing(mode Mode) Result {
 			// while the block engine advances trials by diffs.
 			seedBase := uint64(0xE90000 + nu*1000)
 			scs := montecarlo.RunWith(montecarlo.Config{Trials: trialsN, Seed: seedBase},
-				batchEvalScratchFor(nw, fault.Symmetric(eps), true),
+				batchEvalScratchFor(pool, nw, fault.Symmetric(eps), true),
 				func(_ *rng.RNG, s *batchEvalScratch, _ uint64) {
 					s.ev.EvaluateNextInto(&s.out, 200)
 					if !s.out.MajorityAccess {
@@ -50,6 +51,7 @@ func E9Routing(mode Mode) Result {
 					s.churnPathTotal += s.out.ChurnPathTotal
 				})
 			t := mergeBatchEval(scs)
+			releaseBatchEval(scs)
 			mean := ratio(t.churnPathTotal, t.churnConn-t.churnFail)
 			tab.AddRow(nu, p.N(), eps, trialsN, t.churnConn, t.churnFail, mean)
 		}
@@ -87,21 +89,36 @@ func E9Routing(mode Mode) Result {
 			reqs[i] = route.Request{In: nw.Inputs()[i], Out: nw.Outputs()[perm[i]]}
 		}
 		rounds := mode.trials(30, 200)
-		// Sequential baseline, on the pooled (allocation-free) fast path.
+		// Every engine runs the identical workload through the one Engine
+		// seam: rounds of the saturating permutation via ConnectBatch, torn
+		// down by Reset. ConcurrentRouter batch k derives its search RNGs
+		// from seed k, reproducing the historical per-round seeding.
+		runEngine := func(eng route.Engine) (done int, elapsed float64) {
+			var resBuf []route.Result
+			start := time.Now()
+			for rep := 0; rep < rounds; rep++ {
+				resBuf = eng.ConnectBatch(reqs, resBuf)
+				for i := range resBuf {
+					if resBuf[i].Path != nil {
+						done++
+					}
+				}
+				eng.Reset()
+			}
+			return done, time.Since(start).Seconds()
+		}
+		type engineRow struct {
+			name    string
+			workers int
+			eng     route.Engine
+			// parity: decisions are contractually bit-identical to the
+			// sequential router's, so "established" must reproduce the
+			// sequential count exactly.
+			parity bool
+		}
 		rt := route.NewRouter(nw.G)
 		rt.EnablePathReuse()
-		start := time.Now()
-		seqDone := 0
-		for rep := 0; rep < rounds; rep++ {
-			for _, rq := range reqs {
-				if _, err := rt.Connect(rq.In, rq.Out); err == nil {
-					seqDone++
-				}
-			}
-			rt.Reset()
-		}
-		el := time.Since(start).Seconds()
-		addRow("sequential", 1, rounds*n, seqDone, float64(rounds*n)/el)
+		engines := []engineRow{{"sequential", 1, rt, false}}
 		// The CAS router's accepted count is scheduler-dependent once
 		// workers > 1 (a request can exhaust its retries against transient
 		// claims), so the committed quick-mode table keeps only the
@@ -114,46 +131,27 @@ func E9Routing(mode Mode) Result {
 		}
 		for _, workers := range casWorkers {
 			cr := route.NewConcurrentRouter(nw.G)
-			start = time.Now()
-			done := 0
-			for rep := 0; rep < rounds; rep++ {
-				results := cr.ServeBatch(reqs, workers, uint64(rep))
-				for _, r := range results {
-					if r.Path != nil {
-						done++
-						cr.Release(r.Path)
-					}
-				}
-			}
-			el = time.Since(start).Seconds()
-			addRow("concurrent (CAS)", workers, rounds*n, done, float64(rounds*n)/el)
+			cr.Workers = workers
+			engines = append(engines, engineRow{"concurrent (CAS)", workers, cr, false})
 		}
-		// Sharded engine: decisions are bit-identical to the sequential
-		// router at every shard count (route's differential harness), so
-		// "established" must reproduce the sequential column exactly.
-		var resBuf []route.Result
 		for _, shards := range []int{1, 2, 4, 8} {
-			se := route.NewShardedEngine(nw.G, shards)
-			start = time.Now()
-			done := 0
-			for rep := 0; rep < rounds; rep++ {
-				resBuf = se.ServeBatch(reqs, resBuf)
-				for i := range resBuf {
-					if resBuf[i].Path != nil {
-						done++
-					}
-				}
-				se.Reset()
+			engines = append(engines,
+				engineRow{"sharded (speculate+commit)", shards, route.NewShardedEngine(nw.G, shards), true})
+		}
+		seqDone := 0
+		for i, row := range engines {
+			done, el := runEngine(row.eng)
+			if i == 0 {
+				seqDone = done
 			}
-			el = time.Since(start).Seconds()
-			if done != seqDone {
+			if row.parity && done != seqDone {
 				// Decision parity is load-bearing: a mismatch means the
 				// engine broke its contract, and the committed table would
 				// hide it. Make it visible in the artifact instead.
-				addRow("sharded BROKEN PARITY", shards, rounds*n, done, 0)
+				addRow(row.name+" BROKEN PARITY", row.workers, rounds*n, done, 0)
 				continue
 			}
-			addRow("sharded (speculate+commit)", shards, rounds*n, done, float64(rounds*n)/el)
+			addRow(row.name, row.workers, rounds*n, done, float64(rounds*n)/el)
 		}
 		res.Tables = append(res.Tables, thr)
 	}
@@ -176,6 +174,9 @@ func E10Ablations(mode Mode) Result {
 	}
 	trialsN := mode.trials(60, 400)
 	eps := 0.005
+	// E10 builds a dozen networks; one pool recycles every worker's trial
+	// scratch across them (the arenas converge to the largest build).
+	pool := core.NewEvaluatorPool()
 
 	// (a) Expander degree DQ.
 	dq := stats.NewTable("DQ (degree 4·DQ)", "edges", "P[majority access] @ε=0.005")
@@ -185,7 +186,7 @@ func E10Ablations(mode Mode) Result {
 		if err != nil {
 			continue
 		}
-		pr := montecarloMajority(nw, eps, trialsN, uint64(0xEA0000+d))
+		pr := montecarloMajority(pool, nw, eps, trialsN, uint64(0xEA0000+d))
 		dq.AddRow(d, core.Accounting(p).Edges, pr)
 	}
 	res.Tables = append(res.Tables, dq)
@@ -198,8 +199,8 @@ func E10Ablations(mode Mode) Result {
 		if err != nil {
 			continue
 		}
-		surv := montecarloSurvive(nw, 0.02, trialsN, uint64(0xEB0000+m))
-		maj := montecarloMajority(nw, 0.02, trialsN, uint64(0xEC0000+m))
+		surv := montecarloSurvive(pool, nw, 0.02, trialsN, uint64(0xEB0000+m))
+		maj := montecarloMajority(pool, nw, 0.02, trialsN, uint64(0xEC0000+m))
 		lm.AddRow(m, core.Accounting(p).Edges, surv, maj)
 	}
 	res.Tables = append(res.Tables, lm)
@@ -227,7 +228,7 @@ func E10Ablations(mode Mode) Result {
 			name = "Gabber–Galil (explicit, d=5/quarter)"
 			seedTag = 1
 		}
-		expNet.AddRow(name, core.Accounting(pe).Edges, montecarloMajority(nwE, eps, trialsN, 0xED50+seedTag))
+		expNet.AddRow(name, core.Accounting(pe).Edges, montecarloMajority(pool, nwE, eps, trialsN, 0xED50+seedTag))
 	}
 	res.Tables = append(res.Tables, expNet)
 
@@ -268,23 +269,25 @@ func E10Ablations(mode Mode) Result {
 	return res
 }
 
-func montecarloMajority(nw *core.Network, eps float64, trials int, seed uint64) float64 {
-	pr := montecarlo.RunBoolWith(montecarlo.Config{Trials: trials, Seed: seed},
-		batchEvalScratchFor(nw, fault.Symmetric(eps), false),
+func montecarloMajority(pool *core.EvaluatorPool, nw *core.Network, eps float64, trials int, seed uint64) float64 {
+	pr, scs := montecarlo.RunBoolWithScratches(montecarlo.Config{Trials: trials, Seed: seed},
+		batchEvalScratchFor(pool, nw, fault.Symmetric(eps), false),
 		func(_ *rng.RNG, s *batchEvalScratch) bool {
 			s.ev.EvaluateNextCertInto(&s.out)
 			return s.out.MajorityAccess
 		})
+	releaseBatchEval(scs)
 	return pr.Estimate()
 }
 
-func montecarloSurvive(nw *core.Network, eps float64, trials int, seed uint64) float64 {
-	pr := montecarlo.RunBoolWith(montecarlo.Config{Trials: trials, Seed: seed},
-		batchWitnessScratchFor(nw.G, eps),
+func montecarloSurvive(pool *core.EvaluatorPool, nw *core.Network, eps float64, trials int, seed uint64) float64 {
+	pr, scs := montecarlo.RunBoolWithScratches(montecarlo.Config{Trials: trials, Seed: seed},
+		batchWitnessScratchFor(pool, nw.G, eps),
 		func(_ *rng.RNG, s *batchWitnessScratch) bool {
 			s.next()
 			return s.survives()
 		})
+	releaseWitnessScratches(scs)
 	return pr.Estimate()
 }
 

@@ -3,6 +3,7 @@ package experiments
 import (
 	"math"
 
+	"ftcsn/internal/arena"
 	"ftcsn/internal/core"
 	"ftcsn/internal/fault"
 	"ftcsn/internal/graph"
@@ -40,21 +41,52 @@ type batchWitnessScratch struct {
 	witnessScratch
 	bi    *fault.BatchInjector
 	model fault.Model
+
+	// pooled backing (nil when unpooled): released by release() after the
+	// run, recycling the O(V)/O(E) buffers for the sweep's next network.
+	pool *core.EvaluatorPool
+	a    *arena.Arena
 }
 
 func (s *batchWitnessScratch) StartBlock(seed, first uint64, n int) {
 	s.bi.FillStream(s.model, seed, first, n)
 }
 
+// release returns the scratch's arena to the pool (no-op when unpooled or
+// nil). The scratch must not be used afterwards.
+func (s *batchWitnessScratch) release() {
+	if s == nil || s.pool == nil {
+		return
+	}
+	pool, a := s.pool, s.a
+	s.pool, s.a = nil, nil
+	s.sc, s.bi = nil, nil
+	pool.Put(a)
+}
+
 // batchWitnessScratchFor returns a constructor suitable for
-// montecarlo.RunBoolWith over graph g under the symmetric model eps.
-func batchWitnessScratchFor(g *graph.Graph, eps float64) func() *batchWitnessScratch {
+// montecarlo.RunBoolWith over graph g under the symmetric model eps,
+// drawing buffers from pool when non-nil (release with release()).
+func batchWitnessScratchFor(pool *core.EvaluatorPool, g *graph.Graph, eps float64) func() *batchWitnessScratch {
 	return func() *batchWitnessScratch {
-		return &batchWitnessScratch{
-			witnessScratch: witnessScratch{inst: fault.NewInstance(g), sc: fault.NewScratch(g)},
-			bi:             fault.NewBatchInjector(g),
-			model:          fault.Symmetric(eps),
+		var a *arena.Arena
+		if pool != nil {
+			a = pool.Get()
 		}
+		return &batchWitnessScratch{
+			witnessScratch: witnessScratch{inst: fault.NewInstance(g), sc: fault.NewScratchIn(g, a)},
+			bi:             fault.NewBatchInjectorIn(g, a),
+			model:          fault.Symmetric(eps),
+			pool:           pool,
+			a:              a,
+		}
+	}
+}
+
+// releaseWitnessScratches returns every pooled witness scratch's arena.
+func releaseWitnessScratches(scs []*batchWitnessScratch) {
+	for _, s := range scs {
+		s.release()
 	}
 }
 
@@ -156,10 +188,18 @@ func (s *batchEvalScratch) StartBlock(seed, first uint64, n int) {
 	}
 }
 
-func batchEvalScratchFor(nw *core.Network, m fault.Model, seq bool) func() *batchEvalScratch {
+// batchEvalScratchFor returns a constructor for batched evaluator scratch;
+// when pool is non-nil the evaluator's buffers come from a pooled arena
+// (fold results with mergeBatchEval, then hand the arenas back with
+// releaseBatchEval).
+func batchEvalScratchFor(pool *core.EvaluatorPool, nw *core.Network, m fault.Model, seq bool) func() *batchEvalScratch {
 	return func() *batchEvalScratch {
+		ev := core.NewEvaluator(nw)
+		if pool != nil {
+			ev = pool.NewEvaluator(nw)
+		}
 		return &batchEvalScratch{
-			evalScratch: evalScratch{ev: core.NewEvaluator(nw), minFrac: math.Inf(1)},
+			evalScratch: evalScratch{ev: ev, minFrac: math.Inf(1)},
 			model:       m,
 			seq:         seq,
 		}
@@ -175,6 +215,17 @@ func mergeBatchEval(scs []*batchEvalScratch) evalScratch {
 		}
 	}
 	return mergeEval(flat)
+}
+
+// releaseBatchEval returns every pooled evaluator's arena (no-op entries
+// for unpooled evaluators and never-started workers). Call only after
+// mergeBatchEval has folded the results out.
+func releaseBatchEval(scs []*batchEvalScratch) {
+	for _, s := range scs {
+		if s != nil {
+			s.ev.Release()
+		}
+	}
 }
 
 // mergeEval folds per-worker accumulators into one; nil entries (workers

@@ -22,6 +22,7 @@ package fault
 import (
 	"fmt"
 
+	"ftcsn/internal/arena"
 	"ftcsn/internal/graph"
 	"ftcsn/internal/rng"
 	"ftcsn/internal/unionfind"
@@ -274,14 +275,19 @@ type Scratch struct {
 }
 
 // NewScratch returns witness-check scratch sized for g.
-func NewScratch(g *graph.Graph) *Scratch {
+func NewScratch(g *graph.Graph) *Scratch { return NewScratchIn(g, nil) }
+
+// NewScratchIn is NewScratch drawing every buffer from a (nil a allocates
+// normally) — the pooled form core.EvaluatorPool uses to recycle witness
+// scratch across networks.
+func NewScratchIn(g *graph.Graph, a *arena.Arena) *Scratch {
 	n := g.NumVertices()
 	return &Scratch{
-		dsu:        unionfind.New(n),
-		sdsu:       unionfind.NewSparse(n),
-		owner:      make([]int32, n),
-		ownerEpoch: make([]uint32, n),
-		reach:      newReachScratch(n),
+		dsu:        unionfind.NewIn(n, a),
+		sdsu:       unionfind.NewSparseIn(n, a),
+		owner:      a.I32(n),
+		ownerEpoch: a.U32(n),
+		reach:      newReachScratchIn(n, a),
 	}
 }
 
@@ -367,8 +373,10 @@ type reachScratch struct {
 	queue []int32
 }
 
-func newReachScratch(n int) reachScratch {
-	return reachScratch{seen: make([]uint32, n), queue: make([]int32, 0, 256)}
+func newReachScratch(n int) reachScratch { return newReachScratchIn(n, nil) }
+
+func newReachScratchIn(n int, a *arena.Arena) reachScratch {
+	return reachScratch{seen: a.U32(n), queue: a.I32(256)[:0]}
 }
 
 func (sc *reachScratch) reset() {

@@ -80,15 +80,25 @@ func RunSample(cfg Config, trial func(r *rng.RNG) float64) stats.Sample {
 // pure trial function: trial i still sees the stream rng.Stream(cfg.Seed, i)
 // and proportions merge commutatively.
 func RunBoolWith[S any](cfg Config, newScratch func() S, trial func(r *rng.RNG, s S) bool) stats.Proportion {
+	pr, _ := RunBoolWithScratches(cfg, newScratch, trial)
+	return pr
+}
+
+// RunBoolWithScratches is RunBoolWith additionally returning the
+// per-worker scratches, so scratch backed by recycled storage (the
+// core.EvaluatorPool arenas of multi-network experiments) can be released
+// once the run is over. Entries are zero values for workers that never
+// started (Trials == 0).
+func RunBoolWithScratches[S any](cfg Config, newScratch func() S, trial func(r *rng.RNG, s S) bool) (stats.Proportion, []S) {
 	perWorker := make([]stats.Proportion, cfg.workers())
-	parallelFor(cfg, newScratch, func(w int, r *rng.RNG, s S, i uint64) {
+	scs := parallelFor(cfg, newScratch, func(w int, r *rng.RNG, s S, i uint64) {
 		perWorker[w].Add(trial(r, s))
 	})
 	var total stats.Proportion
 	for _, p := range perWorker {
 		total.Merge(p)
 	}
-	return total
+	return total, scs
 }
 
 // RunSampleWith is RunSample with worker-local scratch; see RunBoolWith.

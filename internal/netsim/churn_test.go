@@ -1,0 +1,151 @@
+package netsim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ftcsn/internal/core"
+	"ftcsn/internal/fault"
+	"ftcsn/internal/graph"
+	"ftcsn/internal/netsim"
+	"ftcsn/internal/rng"
+	"ftcsn/internal/route"
+)
+
+// repairedEngines builds a (sequential router, masks) reference pair and a
+// constructor for engines adopting the same repaired masks, for a fault
+// instance drawn at eps.
+func repairedMasks(t *testing.T, nw *core.Network, eps float64, seed uint64) core.Masks {
+	t.Helper()
+	inst := fault.Inject(nw.G, fault.Symmetric(eps), rng.New(seed))
+	var m core.Masks
+	core.RepairMasksInto(inst, &m)
+	m.OutAllowed = nw.G.BuildOutAllowed(m.EdgeOK, m.VertexOK, nil)
+	m.InAllowed = nw.G.BuildInAllowed(m.EdgeOK, m.VertexOK, nil)
+	return m
+}
+
+// TestChurnDriverMatchesPerOp is the lockstep differential for the
+// batch-shaped churn generator: on fault-free and heavily faulted repaired
+// networks (the latter forcing endpoint and no-path rejections, i.e. the
+// rollback path), ChurnDriver.Run over every sequential-semantics engine
+// must reproduce core.ChurnWith bit for bit — aggregates, per-circuit
+// paths, and the generator's final RNG state.
+func TestChurnDriverMatchesPerOp(t *testing.T) {
+	nw := buildSmall(t)
+	for _, eps := range []float64{0, 0.08, 0.25} {
+		m := repairedMasks(t, nw, eps, 0xC0FFEE+uint64(eps*1000))
+
+		// Per-op reference.
+		ref := route.NewRouter(nw.G)
+		ref.EnablePathReuse()
+		ref.SetMasksShared(m.VertexOK, m.EdgeOK, m.OutAllowed)
+		const ops = 400
+		refR := rng.New(42)
+		wantC, wantF, wantP := core.ChurnWith(ref, nw.G.Inputs(), nw.G.Outputs(), ops, refR, &core.ChurnScratch{})
+		wantState := refR.State()
+		wantPaths := pathSnapshot(ref, nw.G)
+
+		engines := map[string]route.Engine{
+			"router": func() route.Engine {
+				rt := route.NewRouter(nw.G)
+				rt.EnablePathReuse()
+				return rt
+			}(),
+		}
+		for _, shards := range []int{1, 2, 3, 8} {
+			engines[fmt.Sprintf("sharded-%d", shards)] = route.NewShardedEngine(nw.G, shards)
+		}
+		for name, eng := range engines {
+			eng.SetMasksShared(m.VertexOK, m.EdgeOK, m.OutAllowed)
+			eng.MasksChanged()
+			var cd netsim.ChurnDriver
+			r := rng.New(42)
+			gotC, gotF, gotP := cd.Run(eng, nw.G.Inputs(), nw.G.Outputs(), ops, r)
+			if gotC != wantC || gotF != wantF || gotP != wantP {
+				t.Fatalf("eps=%v %s: (connects,failures,pathTotal)=(%d,%d,%d), want (%d,%d,%d)",
+					eps, name, gotC, gotF, gotP, wantC, wantF, wantP)
+			}
+			if r.State() != wantState {
+				t.Fatalf("eps=%v %s: final RNG state diverged", eps, name)
+			}
+			if got := pathSnapshot(eng, nw.G); got != wantPaths {
+				t.Fatalf("eps=%v %s: live circuit paths diverged:\n%s\nwant:\n%s", eps, name, got, wantPaths)
+			}
+		}
+		if wantF == 0 && eps >= 0.25 {
+			t.Logf("eps=%v produced no failures; rollback path unexercised here", eps)
+		}
+	}
+}
+
+// pathSnapshot renders every live circuit's path via the Engine seam, in
+// input order, so two engines' states can be compared exactly.
+func pathSnapshot(eng route.Engine, g *graph.Graph) string {
+	s := ""
+	for _, in := range g.Inputs() {
+		for _, out := range g.Outputs() {
+			if p := eng.PathOf(in, out); p != nil {
+				s += fmt.Sprintf("(%d,%d)=%v;", in, out, p)
+			}
+		}
+	}
+	return s
+}
+
+// TestChurnDriverRollbackExercised pins down that the heavy-fault case
+// actually takes the rollback path (otherwise the differential above
+// proves less than it claims).
+func TestChurnDriverRollbackExercised(t *testing.T) {
+	nw := buildSmall(t)
+	m := repairedMasks(t, nw, 0.25, 0xC0FFEE+250)
+	ref := route.NewRouter(nw.G)
+	ref.EnablePathReuse()
+	ref.SetMasksShared(m.VertexOK, m.EdgeOK, m.OutAllowed)
+	r := rng.New(42)
+	_, failures, _ := core.ChurnWith(ref, nw.G.Inputs(), nw.G.Outputs(), 400, r, &core.ChurnScratch{})
+	if failures == 0 {
+		t.Fatal("heavy-fault stream produced no failed connects; pick a harsher seed/eps")
+	}
+}
+
+// TestChurnDriverAllocFree: the driver's steady state allocates nothing on
+// a warmed-up engine (the Evaluator's 0 allocs/trial gate extends through
+// the churn seam).
+func TestChurnDriverAllocFree(t *testing.T) {
+	nw := buildSmall(t)
+	se := route.NewShardedEngine(nw.G, 2)
+	var cd netsim.ChurnDriver
+	r := rng.New(7)
+	run := func() {
+		se.Reset()
+		cd.Run(se, nw.G.Inputs(), nw.G.Outputs(), 200, r)
+	}
+	run() // warm up scratch
+	if allocs := testing.AllocsPerRun(20, run); allocs > 0 {
+		t.Fatalf("churn driver allocated %.1f/run in steady state", allocs)
+	}
+}
+
+// TestChurnDriverUnequalTerminalSets: with fewer outputs than inputs the
+// output pool can drain while inputs remain idle; the run must end cleanly
+// (matching the per-op generator's release branch) instead of drawing
+// Intn(0).
+func TestChurnDriverUnequalTerminalSets(t *testing.T) {
+	nw := buildSmall(t)
+	ins := nw.G.Inputs()
+	outs := nw.G.Outputs()[:2]
+	ref := route.NewRouter(nw.G)
+	ref.EnablePathReuse()
+	refR := rng.New(5)
+	wantC, wantF, wantP := core.ChurnWith(ref, ins, outs, 300, refR, &core.ChurnScratch{})
+
+	eng := route.NewRouter(nw.G)
+	eng.EnablePathReuse()
+	var cd netsim.ChurnDriver
+	r := rng.New(5)
+	gotC, gotF, gotP := cd.Run(eng, ins, outs, 300, r)
+	if gotC != wantC || gotF != wantF || gotP != wantP || r.State() != refR.State() {
+		t.Fatalf("unequal sets diverged: got (%d,%d,%d) want (%d,%d,%d)", gotC, gotF, gotP, wantC, wantF, wantP)
+	}
+}

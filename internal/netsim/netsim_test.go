@@ -1,4 +1,4 @@
-package netsim
+package netsim_test
 
 import (
 	"sync"
@@ -8,6 +8,7 @@ import (
 	"ftcsn/internal/core"
 	"ftcsn/internal/fault"
 	"ftcsn/internal/graph"
+	"ftcsn/internal/netsim"
 	"ftcsn/internal/rng"
 	"ftcsn/internal/route"
 )
@@ -44,7 +45,7 @@ func crossbar2() *graph.Graph {
 
 func TestSingleCircuit(t *testing.T) {
 	g := crossbar2()
-	s := New(g)
+	s := netsim.New(g)
 	defer s.Close()
 	cid, err := s.Request(g.Inputs()[0], g.Outputs()[1], tmo)
 	if err != nil {
@@ -57,7 +58,7 @@ func TestSingleCircuit(t *testing.T) {
 
 func TestBusyOutputRefuses(t *testing.T) {
 	g := crossbar2()
-	s := New(g)
+	s := netsim.New(g)
 	defer s.Close()
 	if _, err := s.Request(g.Inputs()[0], g.Outputs()[0], tmo); err != nil {
 		t.Fatal(err)
@@ -70,7 +71,7 @@ func TestBusyOutputRefuses(t *testing.T) {
 
 func TestReleaseFreesPath(t *testing.T) {
 	g := crossbar2()
-	s := New(g)
+	s := netsim.New(g)
 	defer s.Close()
 	in, out := g.Inputs()[0], g.Outputs()[0]
 	cid, err := s.Request(in, out, tmo)
@@ -94,7 +95,7 @@ func TestReleaseFreesPath(t *testing.T) {
 
 func TestBothCircuitsConcurrently(t *testing.T) {
 	g := crossbar2()
-	s := New(g)
+	s := netsim.New(g)
 	defer s.Close()
 	var wg sync.WaitGroup
 	errs := make([]error, 2)
@@ -127,7 +128,7 @@ func TestDistributedBacktracking(t *testing.T) {
 	b.MarkInput(in)
 	b.MarkOutput(out)
 	g := b.Freeze()
-	s := New(g)
+	s := netsim.New(g)
 	defer s.Close()
 	if _, err := s.Request(in, out, tmo); err != nil {
 		t.Fatalf("backtracking failed: %v", err)
@@ -140,7 +141,7 @@ func TestRepairedAvoidsFaults(t *testing.T) {
 	// Fail one switch into output 0: its middle link is discarded, the
 	// parallel one still serves.
 	inst.SetState(g.InEdges(g.Outputs()[0])[0], fault.Open)
-	s := NewRepaired(inst)
+	s := netsim.NewRepaired(inst)
 	defer s.Close()
 	if _, err := s.Request(g.Inputs()[0], g.Outputs()[0], tmo); err != nil {
 		t.Fatalf("no route around fault: %v", err)
@@ -150,7 +151,7 @@ func TestRepairedAvoidsFaults(t *testing.T) {
 func TestRejectsDiscardedTerminalQuery(t *testing.T) {
 	g := crossbar2()
 	inst := fault.NewInstance(g)
-	s := NewRepaired(inst)
+	s := netsim.NewRepaired(inst)
 	defer s.Close()
 	// Sanity only: terminals are never discarded by the paper's rule, so
 	// requests against usable terminals work.
@@ -168,7 +169,7 @@ func TestOnNetworkN(t *testing.T) {
 		t.Fatal(err)
 	}
 	inst := fault.Inject(nw.G, fault.Symmetric(0.001), rng.New(9))
-	s := NewRepaired(inst)
+	s := netsim.NewRepaired(inst)
 	defer s.Close()
 
 	n := p.N()
@@ -198,7 +199,7 @@ func TestOnNetworkN(t *testing.T) {
 func TestManySequentialCircuits(t *testing.T) {
 	// Stress the protocol state machine: connect/release cycles.
 	g := crossbar2()
-	s := New(g)
+	s := netsim.New(g)
 	defer s.Close()
 	in, out := g.Inputs()[1], g.Outputs()[0]
 	for i := 0; i < 50; i++ {
@@ -232,7 +233,7 @@ func TestAgreesWithSequentialRouter(t *testing.T) {
 			out := nw.Outputs()[(i+1)%len(nw.Outputs())]
 			rt := route.NewRepairedRouter(inst)
 			_, seqErr := rt.Connect(in, out)
-			s := NewRepaired(inst)
+			s := netsim.NewRepaired(inst)
 			_, simErr := s.Request(in, out, tmo)
 			s.Close()
 			if (seqErr == nil) != (simErr == nil) {
@@ -244,7 +245,7 @@ func TestAgreesWithSequentialRouter(t *testing.T) {
 
 func TestCloseTerminates(t *testing.T) {
 	g := crossbar2()
-	s := New(g)
+	s := netsim.New(g)
 	done := make(chan struct{})
 	go func() {
 		s.Close()

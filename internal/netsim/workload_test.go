@@ -1,10 +1,11 @@
-package netsim
+package netsim_test
 
 import (
 	"testing"
 	"time"
 
 	"ftcsn/internal/core"
+	"ftcsn/internal/netsim"
 	"ftcsn/internal/route"
 )
 
@@ -21,8 +22,8 @@ func buildSmall(t testing.TB) *core.Network {
 // decision feedback produce identical request streams.
 func TestWorkloadDeterminism(t *testing.T) {
 	nw := buildSmall(t)
-	a := NewWorkload(nw.Inputs(), nw.Outputs(), 7)
-	b := NewWorkload(nw.Inputs(), nw.Outputs(), 7)
+	a := netsim.NewWorkload(nw.Inputs(), nw.Outputs(), 7)
+	b := netsim.NewWorkload(nw.Inputs(), nw.Outputs(), 7)
 	for round := 0; round < 20; round++ {
 		ra := a.NextConnects(3)
 		rb := b.NextConnects(3)
@@ -50,7 +51,7 @@ func TestWorkloadDeterminism(t *testing.T) {
 func TestWorkloadPoolsConsistent(t *testing.T) {
 	nw := buildSmall(t)
 	n := len(nw.Inputs())
-	w := NewWorkload(nw.Inputs(), nw.Outputs(), 3)
+	w := netsim.NewWorkload(nw.Inputs(), nw.Outputs(), 3)
 	for round := 0; round < 50; round++ {
 		reqs := w.NextConnects(3)
 		w.Commit(func(i int) bool { return (round+i)%3 != 0 })
@@ -71,9 +72,9 @@ func TestWorkloadPoolsConsistent(t *testing.T) {
 // fault-free network the protocol must keep up with sustained churn.
 func TestWorkloadDrivesSim(t *testing.T) {
 	nw := buildSmall(t)
-	s := New(nw.G)
+	s := netsim.New(nw.G)
 	defer s.Close()
-	w := NewWorkload(nw.Inputs(), nw.Outputs(), 11)
+	w := netsim.NewWorkload(nw.Inputs(), nw.Outputs(), 11)
 	cids := map[[2]int32]int64{}
 	accepted := 0
 	for round := 0; round < 30; round++ {
@@ -108,8 +109,8 @@ func TestWorkloadAgreesAcrossEngines(t *testing.T) {
 	nw := buildSmall(t)
 	rt := route.NewRouter(nw.G)
 	se := route.NewShardedEngine(nw.G, 2)
-	wa := NewWorkload(nw.Inputs(), nw.Outputs(), 5)
-	wb := NewWorkload(nw.Inputs(), nw.Outputs(), 5)
+	wa := netsim.NewWorkload(nw.Inputs(), nw.Outputs(), 5)
+	wb := netsim.NewWorkload(nw.Inputs(), nw.Outputs(), 5)
 	var res []route.Result
 	for round := 0; round < 40; round++ {
 		ra := wa.NextConnects(3)

@@ -70,8 +70,19 @@ func (r *RNG) Uint64() uint64 {
 // parent's next output mixed with the stream index, so distinct indices give
 // statistically independent streams and the parent remains usable.
 func (r *RNG) Split(index uint64) *RNG {
-	x := r.Uint64() ^ (index * 0xd1342543de82ef95)
-	return New(splitMix64(&x))
+	c := &RNG{}
+	c.ReseedSplit(r, index)
+	return c
+}
+
+// ReseedSplit re-initializes r in place to the exact state parent.Split
+// (index) would return, advancing parent identically — the allocation-free
+// form for callers that keep worker RNG values alive across batches but
+// must re-derive them per batch (route.ConcurrentRouter's cached worker
+// scratches).
+func (r *RNG) ReseedSplit(parent *RNG, index uint64) {
+	x := parent.Uint64() ^ (index * 0xd1342543de82ef95)
+	r.Reseed(splitMix64(&x))
 }
 
 // Stream returns the index-th derived stream of a root seed without any

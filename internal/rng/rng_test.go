@@ -254,3 +254,23 @@ func TestStateRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestReseedSplitMatchesSplit(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 0xDEADBEEF} {
+		p1, p2 := New(seed), New(seed)
+		var child RNG
+		for w := uint64(0); w < 5; w++ {
+			want := p1.Split(w)
+			child.ReseedSplit(p2, w)
+			for i := 0; i < 8; i++ {
+				if a, b := want.Uint64(), child.Uint64(); a != b {
+					t.Fatalf("seed %d worker %d draw %d: %x != %x", seed, w, i, a, b)
+				}
+			}
+		}
+		// The parents must have advanced identically too.
+		if p1.Uint64() != p2.Uint64() {
+			t.Fatal("parents diverged")
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package route
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -33,6 +34,22 @@ type ConcurrentRouter struct {
 
 	// MaxAttempts bounds retries per request (default 8).
 	MaxAttempts int
+
+	// Workers is the goroutine count ConnectBatch (the Engine seam) uses;
+	// 0 means 1. ServeBatch takes its worker count explicitly and ignores
+	// this.
+	Workers int
+
+	// Engine-seam state: ConnectBatch derives each batch's per-worker
+	// search RNGs from batchSeq (so batch k reproduces ServeBatch(reqs,
+	// workers, k) exactly), reuses the cached worker scratches, and
+	// registers accepted circuits so Disconnect/PathOf work uniformly
+	// across engines. All nil/empty until first use.
+	batchSeq  uint64
+	scratches []*scratch
+	root      rng.RNG
+	circ      circuits
+	stats     EngineStats
 }
 
 // NewConcurrentRouter returns a concurrent router over the fault-free g.
@@ -80,6 +97,8 @@ func (cr *ConcurrentRouter) SetMasksShared(vertexOK, edgeOK []bool, outAllowed [
 	for i := range cr.claims {
 		cr.claims[i].Store(0)
 	}
+	// Registered circuits died with their claims; forget them.
+	cr.circ.drain(func(int32, []int32) {})
 }
 
 // Request asks for a circuit from In to Out.
@@ -226,18 +245,30 @@ func (cr *ConcurrentRouter) serveOne(sc *scratch, req Request) Result {
 // ServeBatch processes the requests with `workers` goroutines and returns
 // per-request results in input order. Established circuits remain claimed;
 // release them with Release. seed derives the per-worker search RNGs.
+// Calls must be serialized: the router reuses per-worker scratch across
+// batches.
 func (cr *ConcurrentRouter) ServeBatch(reqs []Request, workers int, seed uint64) []Result {
+	results := make([]Result, len(reqs))
+	cr.serveBatchInto(results, reqs, workers, seed)
+	return results
+}
+
+// serveBatchInto is ServeBatch writing into results. Worker w's search RNG
+// is reseeded to exactly rng.New(seed).Split(w), so cached scratch reuse is
+// invisible: every batch's outcomes match a fresh-scratch run bit for bit.
+func (cr *ConcurrentRouter) serveBatchInto(results []Result, reqs []Request, workers int, seed uint64) {
 	if workers < 1 {
 		workers = 1
 	}
-	results := make([]Result, len(reqs))
+	for len(cr.scratches) < workers {
+		cr.scratches = append(cr.scratches, cr.newScratch(new(rng.RNG)))
+	}
+	cr.root.Reseed(seed)
+	for w := 0; w < workers; w++ {
+		cr.scratches[w].r.ReseedSplit(&cr.root, uint64(w))
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
-	root := rng.New(seed)
-	scratches := make([]*scratch, workers)
-	for w := range scratches {
-		scratches[w] = cr.newScratch(root.Split(uint64(w)))
-	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(sc *scratch) {
@@ -249,11 +280,76 @@ func (cr *ConcurrentRouter) ServeBatch(reqs []Request, workers int, seed uint64)
 				}
 				results[i] = cr.serveOne(sc, reqs[i])
 			}
-		}(scratches[w])
+		}(cr.scratches[w])
 	}
 	wg.Wait()
-	return results
 }
+
+// ensureCircuits lazily sizes the per-input circuit registry the Engine
+// seam needs (plain ServeBatch users never pay for it).
+func (cr *ConcurrentRouter) ensureCircuits() {
+	if !cr.circ.ready() {
+		cr.circ.init(cr.g.NumVertices())
+	}
+}
+
+// ConnectBatch serves the requests with cr.Workers goroutines through the
+// CAS claim protocol and registers the accepted circuits, reusing res
+// (grown as needed) — the Engine seam over ServeBatch. Batch k of a
+// router's lifetime uses search seed k, so runs are reproducible for a
+// fixed Workers count (and fully deterministic when Workers == 1).
+func (cr *ConcurrentRouter) ConnectBatch(reqs []Request, res []Result) []Result {
+	res = growResults(res, len(reqs))
+	cr.ensureCircuits()
+	cr.serveBatchInto(res, reqs, cr.Workers, cr.batchSeq)
+	cr.batchSeq++
+	cr.stats.Batches++
+	cr.stats.Requests += int64(len(reqs))
+	for i := range res {
+		path := res[i].Path
+		if path == nil {
+			cr.stats.Rejected++
+			continue
+		}
+		if cr.circ.live(res[i].In) {
+			// Unreachable: a live input's vertex stays claimed, so a second
+			// path from it cannot survive tryClaim.
+			panic("route: concurrent engine accepted a second circuit on a live input")
+		}
+		cr.circ.install(res[i].In, res[i].Out, path)
+		cr.stats.Accepted++
+	}
+	return res
+}
+
+// Disconnect releases the circuit between in and out established by
+// ConnectBatch. Circuits claimed through plain ServeBatch are not
+// registered here; release those with Release.
+func (cr *ConcurrentRouter) Disconnect(in, out int32) error {
+	path, ok := cr.circ.remove(in, out)
+	if !ok {
+		return fmt.Errorf("route: no circuit (%d,%d)", in, out)
+	}
+	cr.Release(path)
+	return nil
+}
+
+// PathOf returns the ConnectBatch-established path for (in, out), or nil.
+func (cr *ConcurrentRouter) PathOf(in, out int32) []int32 {
+	return cr.circ.lookup(in, out)
+}
+
+// Reset releases every ConnectBatch-established circuit, keeping buffers.
+func (cr *ConcurrentRouter) Reset() {
+	cr.circ.drain(func(_ int32, path []int32) { cr.Release(path) })
+}
+
+// Stats returns the cumulative ConnectBatch serving counters.
+func (cr *ConcurrentRouter) Stats() EngineStats { return cr.stats }
+
+// MasksChanged is a no-op: the concurrent router reads the shared
+// traversal bytes live.
+func (cr *ConcurrentRouter) MasksChanged() {}
 
 // VerifyDisjoint checks that the successful results' paths are pairwise
 // vertex-disjoint (the safety property the CAS claims must enforce).

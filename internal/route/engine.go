@@ -1,0 +1,170 @@
+package route
+
+// Engine is the uniform seam over this package's three path-hunting
+// engines — the sequential Router, the CAS-claiming ConcurrentRouter, and
+// the speculate-then-commit ShardedEngine — so the layers above (core's
+// Theorem-2 churn pipeline, netsim's workload drivers, experiment E9) can
+// swap engines without hand-rolled per-engine call paths.
+//
+// The shared contract:
+//
+//   - ConnectBatch serves a batch of connection requests and reports
+//     per-request results in input order. Router and ShardedEngine give
+//     sequential semantics: request i's decision and path are exactly what
+//     a sequential Router would produce processing the stream in order, so
+//     any prefix of the results depends only on the corresponding prefix
+//     of the requests. ConcurrentRouter is the deliberate exception: with
+//     Workers > 1 its accept set is scheduler-DEPENDENT (the seed fixes
+//     only the per-worker search RNGs, not the request-to-worker
+//     assignment or claim-retry timing), which is exactly what E9
+//     measures — and why multi-worker CAS rows never enter committed
+//     deterministic tables.
+//   - Disconnect releases a circuit previously established by
+//     ConnectBatch; PathOf returns its path (pooled slices: valid only
+//     while the circuit is live). Reset releases every live circuit.
+//   - SetMasksShared adopts the caller-maintained repair masks and
+//     CSR-slot traversal bytes (core.MaskUpdater's slices); MasksChanged
+//     tells the engine those adopted bytes were edited in place between
+//     batches, so engines that derive per-epoch state from them (the
+//     sharded engine's routing guide) can refresh. Engines that read the
+//     bytes live treat it as a no-op.
+//   - Stats reports cumulative serving counters in engine-neutral form.
+//
+// Engines are not safe for concurrent use; ConnectBatch may parallelize
+// internally but calls must be serialized by the caller.
+type Engine interface {
+	ConnectBatch(reqs []Request, res []Result) []Result
+	Disconnect(in, out int32) error
+	PathOf(in, out int32) []int32
+	Reset()
+	Stats() EngineStats
+	SetMasksShared(vertexOK, edgeOK []bool, outAllowed []uint8)
+	MasksChanged()
+}
+
+// EngineStats is the engine-neutral cumulative serving record of an
+// Engine's ConnectBatch history.
+type EngineStats struct {
+	Batches  int64 // ConnectBatch calls
+	Requests int64 // requests served across all batches
+	Accepted int64 // circuits established
+	Rejected int64 // requests denied (no idle path, busy/unusable endpoint)
+}
+
+// Compile-time checks: all three engines implement the seam.
+var (
+	_ Engine = (*Router)(nil)
+	_ Engine = (*ConcurrentRouter)(nil)
+	_ Engine = (*ShardedEngine)(nil)
+)
+
+// circuits is the per-input live-circuit registry shared by the batch
+// engines (ShardedEngine, ConcurrentRouter's Engine seam): at most one
+// live circuit per input terminal — an input stays claimed/busy while
+// connected, so a second circuit cannot coexist — with O(1) install,
+// lookup, and swap-removal. Fields are parallel arrays indexed by vertex:
+// out[in] is the live circuit's output (-1 = none), path[in] its path, and
+// ins/pos a mutual index for O(1) removal from the live list.
+type circuits struct {
+	out  []int32
+	path [][]int32
+	ins  []int32
+	pos  []int32
+}
+
+func (c *circuits) ready() bool { return c.out != nil }
+
+func (c *circuits) init(n int) {
+	c.out = make([]int32, n)
+	c.path = make([][]int32, n)
+	c.pos = make([]int32, n)
+	for v := range c.out {
+		c.out[v] = -1
+		c.pos[v] = -1
+	}
+}
+
+// live reports whether input in has a live circuit.
+func (c *circuits) live(in int32) bool { return c.out[in] != -1 }
+
+// lookup returns the live path for (in, out), or nil.
+func (c *circuits) lookup(in, out int32) []int32 {
+	if in < 0 || int(in) >= len(c.out) || c.out[in] != out {
+		return nil
+	}
+	return c.path[in]
+}
+
+// install registers a freshly established circuit.
+func (c *circuits) install(in, out int32, p []int32) {
+	c.out[in] = out
+	c.path[in] = p
+	c.pos[in] = int32(len(c.ins))
+	c.ins = append(c.ins, in)
+}
+
+// remove unregisters the circuit (in, out), returning its path.
+func (c *circuits) remove(in, out int32) ([]int32, bool) {
+	if in < 0 || int(in) >= len(c.out) || c.out[in] != out {
+		return nil, false
+	}
+	p := c.path[in]
+	c.path[in] = nil
+	c.out[in] = -1
+	pos := c.pos[in]
+	last := int32(len(c.ins) - 1)
+	moved := c.ins[last]
+	c.ins[pos] = moved
+	c.pos[moved] = pos
+	c.ins = c.ins[:last]
+	c.pos[in] = -1
+	return p, true
+}
+
+// drain unregisters every live circuit, handing each (input, path) to f
+// (which releases claims, retires pooled paths, or simply forgets).
+func (c *circuits) drain(f func(in int32, path []int32)) {
+	for _, in := range c.ins {
+		f(in, c.path[in])
+		c.path[in] = nil
+		c.out[in] = -1
+		c.pos[in] = -1
+	}
+	c.ins = c.ins[:0]
+}
+
+// growResults resizes res to n entries, reusing capacity when possible.
+func growResults(res []Result, n int) []Result {
+	if cap(res) < n {
+		return make([]Result, n)
+	}
+	return res[:n]
+}
+
+// ConnectBatch serves the requests strictly in order through Connect,
+// reusing res (grown as needed) — the sequential reference implementation
+// of the Engine seam. Attempts is 1 for every request; Path is nil on
+// rejection (busy or unusable endpoint, duplicate circuit, or no idle
+// path — the same outcomes Connect reports as errors).
+func (rt *Router) ConnectBatch(reqs []Request, res []Result) []Result {
+	res = growResults(res, len(reqs))
+	rt.stats.Batches++
+	rt.stats.Requests += int64(len(reqs))
+	for i, rq := range reqs {
+		res[i] = Result{Request: rq, Attempts: 1}
+		if path, err := rt.Connect(rq.In, rq.Out); err == nil {
+			res[i].Path = path
+			rt.stats.Accepted++
+		} else {
+			rt.stats.Rejected++
+		}
+	}
+	return res
+}
+
+// Stats returns the cumulative ConnectBatch serving counters.
+func (rt *Router) Stats() EngineStats { return rt.stats }
+
+// MasksChanged is a no-op: the router reads the shared traversal bytes
+// live, so in-place edits between batches need no refresh.
+func (rt *Router) MasksChanged() {}

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 
+	"ftcsn/internal/arena"
 	"ftcsn/internal/fault"
 	"ftcsn/internal/graph"
 )
@@ -61,11 +62,19 @@ type Router struct {
 	// allocation-free. Pooled paths are only valid until Disconnect.
 	pooled   bool
 	pathPool [][]int32
+
+	stats EngineStats // cumulative ConnectBatch counters (engine seam)
 }
 
 // NewRouter returns a router over the fault-free network g.
 func NewRouter(g *graph.Graph) *Router {
-	return newRouter(g, nil, nil)
+	return newRouterIn(g, nil, nil, nil)
+}
+
+// NewRouterIn is NewRouter drawing the O(V)/O(E) buffers from a (nil a
+// allocates normally) — the pooled form core.EvaluatorPool uses.
+func NewRouterIn(g *graph.Graph, a *arena.Arena) *Router {
+	return newRouterIn(g, nil, nil, a)
 }
 
 // NewRepairedRouter returns a router over the repaired network defined by a
@@ -81,18 +90,22 @@ func NewRepairedRouter(inst *fault.Instance) *Router {
 }
 
 func newRouter(g *graph.Graph, vertexOK, edgeOK []bool) *Router {
+	return newRouterIn(g, vertexOK, edgeOK, nil)
+}
+
+func newRouterIn(g *graph.Graph, vertexOK, edgeOK []bool, a *arena.Arena) *Router {
 	n := g.NumVertices()
 	rt := &Router{
 		g:         g,
 		vertexOK:  vertexOK,
 		edgeOK:    edgeOK,
-		busy:      make([]bool, n),
+		busy:      a.Bools(n),
 		circuits:  make(map[int64][]int32),
-		seenEpoch: make([]uint32, n),
-		prevEdge:  make([]int32, n),
-		queue:     make([]int32, 0, 256),
+		seenEpoch: a.U32(n),
+		prevEdge:  a.I32(n),
+		queue:     a.I32(256)[:0],
 	}
-	rt.allowedOwned = g.BuildOutAllowed(edgeOK, vertexOK, nil)
+	rt.allowedOwned = g.BuildOutAllowed(edgeOK, vertexOK, a.Bytes(g.NumEdges()))
 	rt.allowed = rt.allowedOwned
 	return rt
 }

@@ -53,10 +53,18 @@ import (
 type PrefilterMode uint8
 
 const (
-	// PrefilterAuto engages the sweep while rejects are common (≥1/16 of
-	// the previous batch): sweeping 64 doomed requests costs one pass over
-	// the CSR, where 64 failing probes would each scan their whole
-	// reachable cone. Under light load it stays out of the way.
+	// PrefilterAuto engages the sweep per shard while that shard's rejects
+	// are common (≥1/16 of its share of the previous batch): sweeping 64
+	// doomed requests costs one pass over the CSR, where 64 failing probes
+	// would each scan their whole reachable cone. The policy is per shard
+	// because rejects are often local — a fault cluster that dooms one
+	// input range's requests says nothing about the other shards — so a
+	// global rate either over-sweeps healthy shards or starves the sick
+	// one. A shard that served no requests keeps its previous state. Under
+	// light load the sweep stays out of the way everywhere. Engagement is
+	// a pure function of the served stream (the partition is by input
+	// terminal), so decisions remain deterministic — and the sweep itself
+	// is decision-neutral regardless.
 	PrefilterAuto PrefilterMode = iota
 	// PrefilterOff never sweeps; every request is probed.
 	PrefilterOff
@@ -83,6 +91,14 @@ type ShardedStats struct {
 
 	// PrefilterSweeps counts lane sweeps run (≤64 lanes each).
 	PrefilterSweeps int64
+
+	// Adaptive-policy transitions: a shard's observed reject share crossed
+	// the engage threshold (Engages) or fell back under it (Disengages).
+	// The state machine tracks in every mode — so a later switch to
+	// PrefilterAuto acts on fresh evidence — but only PrefilterAuto turns
+	// an engaged shard into actual sweeps. Engages-Disengages is the
+	// number of shards currently engaged.
+	PrefilterEngages, PrefilterDisengages int64
 }
 
 // request flags written in phase A (per batch slot). Both reject flags
@@ -118,6 +134,11 @@ type shard struct {
 	surv []int32 // endpoint/prefilter survivors scratch
 	sc   probeScratch
 	fp   *lanePass // lazily built word-parallel feasibility scratch
+
+	// engaged is this shard's adaptive-prefilter state (PrefilterAuto):
+	// sweep while the shard's own reject share of its previous batch was
+	// ≥ 1/16. Updated after each commit phase from the final decisions.
+	engaged bool
 
 	// per-batch counters, folded into ShardedStats after the join so phase
 	// A needs no atomics.
@@ -159,12 +180,10 @@ type ShardedEngine struct {
 	batchEpoch uint32
 	commitSc   probeScratch
 
-	// committed circuits, one live circuit per input terminal (an input is
-	// claimed while connected, so a second circuit cannot coexist).
-	liveOut  []int32   // per-vertex: output of the live circuit from this input, -1 = none
-	livePath [][]int32 // per-vertex: its claimed path
-	liveIns  []int32   // list of inputs with live circuits
-	livePos  []int32   // per-vertex: index into liveIns, -1 = none
+	// committed circuits: the engines' shared per-input registry (one live
+	// circuit per input terminal — an input is claimed while connected, so
+	// a second circuit cannot coexist).
+	circ circuits
 
 	pathPool [][]int32
 
@@ -181,10 +200,6 @@ type ShardedEngine struct {
 	outIdx      []int32 // per-vertex output index, -1 = not an output
 
 	layoutOK bool
-
-	// auto-prefilter state: reject share of the previous batch, scaled by
-	// 16 (engaged when ≥ 1 per 16 requests).
-	autoEngaged bool
 
 	stats ShardedStats
 }
@@ -220,18 +235,14 @@ func newShardedEngine(g *graph.Graph, cr *ConcurrentRouter, shards int) *Sharded
 		cr:        cr,
 		shards:    make([]*shard, shards),
 		batchMark: make([]uint32, n),
-		liveOut:   make([]int32, n),
-		livePath:  make([][]int32, n),
-		livePos:   make([]int32, n),
 		outIdx:    make([]int32, n),
 	}
+	se.circ.init(n)
 	for i := range se.shards {
 		se.shards[i] = &shard{sc: se.newProbeScratch()}
 	}
 	se.commitSc = se.newProbeScratch()
-	for v := range se.liveOut {
-		se.liveOut[v] = -1
-		se.livePos[v] = -1
+	for v := range se.outIdx {
 		se.outIdx[v] = -1
 	}
 	for i, v := range g.Outputs() {
@@ -254,19 +265,37 @@ func (se *ShardedEngine) newProbeScratch() probeScratch {
 // Shards returns the shard count.
 func (se *ShardedEngine) Shards() int { return len(se.shards) }
 
-// Stats returns the cumulative serving counters.
-func (se *ShardedEngine) Stats() ShardedStats { return se.stats }
+// ShardedStats returns the cumulative engine-specific serving counters
+// (fast-path/fallback split, reject breakdown, prefilter activity).
+func (se *ShardedEngine) ShardedStats() ShardedStats { return se.stats }
+
+// Stats returns the engine-neutral serving counters (the Engine seam);
+// ShardedStats has the detailed breakdown.
+func (se *ShardedEngine) Stats() EngineStats {
+	return EngineStats{
+		Batches:  se.stats.Batches,
+		Requests: se.stats.Requests,
+		Accepted: se.stats.Accepted,
+		Rejected: se.stats.Requests - se.stats.Accepted,
+	}
+}
+
+// ConnectBatch is ServeBatch under its Engine-seam name.
+func (se *ShardedEngine) ConnectBatch(reqs []Request, res []Result) []Result {
+	return se.ServeBatch(reqs, res)
+}
+
+// MasksChanged rebuilds the output-reachability guide from the adopted
+// traversal bytes (the Engine-seam name for RefreshGuide — see there).
+func (se *ShardedEngine) MasksChanged() { se.rebuildGuide() }
 
 // ActiveCircuits returns the number of committed circuits.
-func (se *ShardedEngine) ActiveCircuits() int { return len(se.liveIns) }
+func (se *ShardedEngine) ActiveCircuits() int { return len(se.circ.ins) }
 
 // PathOf returns the committed path for (in, out), or nil. The slice is
 // pooled: valid only until the circuit is disconnected.
 func (se *ShardedEngine) PathOf(in, out int32) []int32 {
-	if in < 0 || int(in) >= len(se.liveOut) || se.liveOut[in] != out {
-		return nil
-	}
-	return se.livePath[in]
+	return se.circ.lookup(in, out)
 }
 
 // SetMasksShared adopts the usable-vertex mask and the caller-maintained
@@ -294,46 +323,26 @@ func (se *ShardedEngine) RefreshGuide() { se.rebuildGuide() }
 
 // Reset releases every committed circuit, keeping buffers and masks.
 func (se *ShardedEngine) Reset() {
-	for _, in := range se.liveIns {
-		se.cr.Release(se.livePath[in])
-		se.retirePath(se.livePath[in])
-		se.livePath[in] = nil
-		se.liveOut[in] = -1
-		se.livePos[in] = -1
-	}
-	se.liveIns = se.liveIns[:0]
+	se.circ.drain(func(_ int32, path []int32) {
+		se.cr.Release(path)
+		se.retirePath(path)
+	})
 }
 
 // dropCircuits forgets circuit bookkeeping without touching claims (used
 // when SetMasksShared is about to clear the whole claim array anyway).
 func (se *ShardedEngine) dropCircuits() {
-	for _, in := range se.liveIns {
-		se.retirePath(se.livePath[in])
-		se.livePath[in] = nil
-		se.liveOut[in] = -1
-		se.livePos[in] = -1
-	}
-	se.liveIns = se.liveIns[:0]
+	se.circ.drain(func(_ int32, path []int32) { se.retirePath(path) })
 }
 
 // Disconnect releases the committed circuit between in and out.
 func (se *ShardedEngine) Disconnect(in, out int32) error {
-	if in < 0 || int(in) >= len(se.liveOut) || se.liveOut[in] != out {
+	path, ok := se.circ.remove(in, out)
+	if !ok {
 		return fmt.Errorf("route: no circuit (%d,%d)", in, out)
 	}
-	path := se.livePath[in]
 	se.cr.Release(path)
 	se.retirePath(path)
-	se.livePath[in] = nil
-	se.liveOut[in] = -1
-	// O(1) removal from the live-input list.
-	pos := se.livePos[in]
-	last := int32(len(se.liveIns) - 1)
-	moved := se.liveIns[last]
-	se.liveIns[pos] = moved
-	se.livePos[moved] = pos
-	se.liveIns = se.liveIns[:last]
-	se.livePos[in] = -1
 	return nil
 }
 
@@ -367,25 +376,23 @@ func (se *ShardedEngine) ServeBatch(reqs []Request, res []Result) []Result {
 	se.spec = growSpec(se.spec, len(reqs))
 	se.flags = growFlags(se.flags, len(reqs))
 
-	sweep := se.Prefilter == PrefilterOn ||
-		(se.Prefilter == PrefilterAuto && se.autoEngaged)
-
 	// Phase A: lock-free speculation against the batch-start snapshot. The
 	// goroutine body is a capture-free literal (everything arrives as
-	// arguments) so spawning stays allocation-free.
+	// arguments) so spawning stays allocation-free. Each shard decides its
+	// own sweep from its adaptive state (see PrefilterAuto).
 	if S > 1 && len(reqs) >= parallelMinPerShard*S {
 		se.wg.Add(S - 1)
 		for s := 1; s < S; s++ {
-			go func(wg *sync.WaitGroup, sh *shard, se *ShardedEngine, reqs []Request, sweep bool) {
+			go func(wg *sync.WaitGroup, sh *shard, se *ShardedEngine, reqs []Request) {
 				defer wg.Done()
-				sh.speculate(se, reqs, sweep)
-			}(&se.wg, se.shards[s], se, reqs, sweep)
+				sh.speculate(se, reqs)
+			}(&se.wg, se.shards[s], se, reqs)
 		}
-		se.shards[0].speculate(se, reqs, sweep)
+		se.shards[0].speculate(se, reqs)
 		se.wg.Wait()
 	} else {
 		for _, sh := range se.shards {
-			sh.speculate(se, reqs, sweep)
+			sh.speculate(se, reqs)
 		}
 	}
 	for _, sh := range se.shards {
@@ -398,7 +405,6 @@ func (se *ShardedEngine) ServeBatch(reqs []Request, res []Result) []Result {
 
 	// Phase B: ordered commit through the CAS claim protocol.
 	se.bumpBatchEpoch()
-	rejected := int64(0)
 	se.commitSc.arena = se.commitSc.arena[:0]
 	for i := range reqs {
 		rq := reqs[i]
@@ -407,7 +413,6 @@ func (se *ShardedEngine) ServeBatch(reqs []Request, res []Result) []Result {
 			if f == flagRejected {
 				res[i].Attempts = 1
 			}
-			rejected++
 			continue
 		}
 		sp := se.spec[i]
@@ -441,15 +446,34 @@ func (se *ShardedEngine) ServeBatch(reqs []Request, res []Result) []Result {
 		if q == nil {
 			res[i].Attempts = 2
 			se.stats.CommitRejects++
-			rejected++
 			continue
 		}
 		se.claimOrdered(q)
 		se.commit(rq, q, &res[i], 2)
 		se.stats.Fallbacks++
 	}
-	// Auto-prefilter: engage next batch when ≥1/16 of this one rejected.
-	se.autoEngaged = rejected*16 >= int64(len(reqs))
+	// Adaptive prefilter: each shard re-decides from its own final reject
+	// share (engage at ≥1/16); shards that served nothing keep their state.
+	for _, sh := range se.shards {
+		if len(sh.idx) == 0 {
+			continue
+		}
+		rej := 0
+		for _, ri := range sh.idx {
+			if res[ri].Path == nil {
+				rej++
+			}
+		}
+		engage := rej*16 >= len(sh.idx)
+		if engage != sh.engaged {
+			if engage {
+				se.stats.PrefilterEngages++
+			} else {
+				se.stats.PrefilterDisengages++
+			}
+			sh.engaged = engage
+		}
+	}
 	return res
 }
 
@@ -477,10 +501,7 @@ func (se *ShardedEngine) commit(rq Request, p []int32, r *Result, attempts int) 
 	for _, v := range path {
 		se.batchMark[v] = se.batchEpoch
 	}
-	se.liveOut[rq.In] = rq.Out
-	se.livePath[rq.In] = path
-	se.livePos[rq.In] = int32(len(se.liveIns))
-	se.liveIns = append(se.liveIns, rq.In)
+	se.circ.install(rq.In, rq.Out, path)
 	r.Path = path
 	r.Attempts = attempts
 	se.stats.Accepted++
@@ -495,9 +516,12 @@ func (se *ShardedEngine) bumpBatchEpoch() {
 }
 
 // speculate is phase A for one shard: screen endpoints, optionally run the
-// word-parallel feasibility sweep, then probe the survivors against the
-// snapshot, recording each probe's visit trace for commit validation.
-func (sh *shard) speculate(se *ShardedEngine, reqs []Request, sweep bool) {
+// word-parallel feasibility sweep (per the shard's own policy state), then
+// probe the survivors against the snapshot, recording each probe's visit
+// trace for commit validation.
+func (sh *shard) speculate(se *ShardedEngine, reqs []Request) {
+	sweep := se.Prefilter == PrefilterOn ||
+		(se.Prefilter == PrefilterAuto && sh.engaged)
 	live := sh.surv[:0]
 	claims := se.cr.claims
 	for _, ri := range sh.idx {
@@ -686,7 +710,9 @@ func (se *ShardedEngine) retirePath(p []int32) {
 func (se *ShardedEngine) rebuildGuide() {
 	nOut := len(se.g.Outputs())
 	groups := (nOut + 63) >> 6
-	if !se.layoutOK || nOut == 0 || groups > maxGuideGroups {
+	// se.cr.allowed == nil means the masks were detached (an owner released
+	// its arena-backed slices); there is nothing to derive a guide from.
+	if !se.layoutOK || nOut == 0 || groups > maxGuideGroups || se.cr.allowed == nil {
 		se.reachOut = nil
 		se.guideGroups = 0
 		return
@@ -728,10 +754,10 @@ func (se *ShardedEngine) rebuildGuide() {
 // valid paths — the engine's analogue of Router.VerifyInvariants. Used by
 // tests and the stress harness.
 func (se *ShardedEngine) VerifyState() error {
-	owner := make(map[int32]int32, len(se.liveIns)*8)
-	for _, in := range se.liveIns {
-		path := se.livePath[in]
-		out := se.liveOut[in]
+	owner := make(map[int32]int32, len(se.circ.ins)*8)
+	for _, in := range se.circ.ins {
+		path := se.circ.path[in]
+		out := se.circ.out[in]
 		if len(path) < 2 || path[0] != in || path[len(path)-1] != out {
 			return fmt.Errorf("route: malformed committed path for (%d,%d)", in, out)
 		}

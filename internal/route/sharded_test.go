@@ -170,7 +170,7 @@ func runInvariance(t *testing.T, nw *core.Network, m core.Masks, shards int, pf 
 	if err := se.VerifyState(); err != nil {
 		t.Fatalf("shards=%d: %v", shards, err)
 	}
-	return trace, se.Stats()
+	return trace, se.ShardedStats()
 }
 
 func TestShardedInvarianceAcrossShardsAndPrefilter(t *testing.T) {
@@ -267,7 +267,7 @@ func TestShardedFastPathDominatesLightChurn(t *testing.T) {
 			}
 		}
 	}
-	st := se.Stats()
+	st := se.ShardedStats()
 	if st.FastPath < st.Fallbacks {
 		t.Errorf("light churn should be fast-path dominated: fast=%d fallback=%d", st.FastPath, st.Fallbacks)
 	}
