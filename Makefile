@@ -37,7 +37,9 @@ FUZZERS := \
 	./internal/core:FuzzIncrementalRepairMasks \
 	./internal/core:FuzzBatchedMajorityAccess \
 	./internal/core:FuzzBatchChurnVsPerOp \
-	./internal/route:FuzzShardedVsSequential
+	./internal/route:FuzzShardedVsSequential \
+	./internal/hyperx:FuzzBuild \
+	./internal/circulant:FuzzBuild
 
 fuzz-smoke:
 	@set -e; for t in $(FUZZERS); do \
@@ -52,7 +54,7 @@ fuzz-smoke:
 # bench-check gates against the committed baseline (>15% ns/op regression
 # or any allocs/op increase fails), bench-baseline refreshes the baseline.
 
-BENCH_GATED := BenchmarkShardedChurn|BenchmarkGreedyConnect|BenchmarkEvaluatorTrial|BenchmarkEvaluatorBatchTrial|BenchmarkEvaluatorBatchCertTrial|BenchmarkEvaluatorShardedChurnTrial|BenchmarkMonteCarloTheorem2Engine|BenchmarkMonteCarloCertificateEngine|BenchmarkPooledE8WitnessSweep|BenchmarkPooledE10CertSweep|BenchmarkWitnessChecks
+BENCH_GATED := BenchmarkShardedChurn|BenchmarkGreedyConnect|BenchmarkEvaluatorTrial|BenchmarkEvaluatorBatchTrial|BenchmarkEvaluatorBatchCertTrial|BenchmarkEvaluatorShardedChurnTrial|BenchmarkZooBatchCertTrial|BenchmarkZooShardedChurnTrial|BenchmarkMonteCarloTheorem2Engine|BenchmarkMonteCarloCertificateEngine|BenchmarkPooledE8WitnessSweep|BenchmarkPooledE10CertSweep|BenchmarkWitnessChecks
 BENCH_COUNT ?= 6
 BENCH_TIME ?= 0.6s
 

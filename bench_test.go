@@ -381,6 +381,70 @@ func BenchmarkEvaluatorBatchCertTrial(b *testing.B) {
 	}
 }
 
+// benchZooNetwork builds the permuted-sweep benchmark family: a
+// DAG-unrolled HyperX (8×8 routers, 4 hops) behind WrapGraph. Its vertex
+// IDs are deliberately not level-sorted, so every sweep below runs
+// through the cached graph.Levels order rather than the historical
+// plain-ID loops — the same code path every non-staged topology takes.
+func benchZooNetwork(b *testing.B) *Network {
+	b.Helper()
+	hx, err := NewHyperX([]int{8, 8}, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw, err := WrapGraph(hx.G)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return nw
+}
+
+// BenchmarkZooBatchCertTrial is BenchmarkEvaluatorBatchCertTrial on the
+// permuted-sweep HyperX family (64 inputs — one full word-parallel lane
+// strip): it gates the level-ordered traversal of the word certifier,
+// which before the Levels contract fell back to 2n per-terminal BFS
+// sweeps on any non-staged graph.
+func BenchmarkZooBatchCertTrial(b *testing.B) {
+	nw := benchZooNetwork(b)
+	ev := NewEvaluator(nw)
+	m := fault.Symmetric(1e-3)
+	var out core.TrialOutcome
+	const block = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%block == 0 {
+			ev.StartBlock(m, 7, uint64(i), block)
+		}
+		ev.EvaluateNextCertInto(&out)
+	}
+}
+
+// BenchmarkZooShardedChurnTrial is BenchmarkEvaluatorShardedChurnTrial on
+// the permuted-sweep HyperX family: the sharded engine's output-set
+// prefilter and reachability guide now key off topological levels, so the
+// batch-shaped churn fast path serves non-staged topologies too.
+func BenchmarkZooShardedChurnTrial(b *testing.B) {
+	nw := benchZooNetwork(b)
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			ev := NewEvaluator(nw)
+			ev.SetChurnEngine(route.NewShardedEngine(nw.G, shards))
+			m := fault.Symmetric(1e-3)
+			var out core.TrialOutcome
+			const block = 64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%block == 0 {
+					ev.StartBlock(m, 7, uint64(i), block)
+				}
+				ev.EvaluateNextInto(&out, 120)
+			}
+		})
+	}
+}
+
 // BenchmarkMonteCarloCertificateEngine is the certificate-mode variant of
 // BenchmarkMonteCarloTheorem2Engine: an experiment-scale (256-trial,
 // all-core) Lemma-6 estimate — the E5 workload — on the batched engine

@@ -34,10 +34,12 @@ package ftcsn
 
 import (
 	"ftcsn/internal/benes"
+	"ftcsn/internal/circulant"
 	"ftcsn/internal/clos"
 	"ftcsn/internal/core"
 	"ftcsn/internal/fault"
 	"ftcsn/internal/graph"
+	"ftcsn/internal/hyperx"
 	"ftcsn/internal/rng"
 	"ftcsn/internal/route"
 	"ftcsn/internal/superconc"
@@ -100,6 +102,15 @@ type RouteResult = route.Result
 
 // Graph is the underlying immutable switch-network graph.
 type Graph = graph.Graph
+
+// Levels is a graph's cached topological leveling — the contract behind
+// every fast path (word-parallel certification, sharded prefilter and
+// probe guide, level-ordered sweeps): obtain it with Graph.Levels(). On
+// fully staged, stage-monotone graphs (Network 𝒩 and friends) the
+// leveling is the stage assignment verbatim, so historical results are
+// bit-identical by construction; any other DAG gets longest-path levels.
+// See DESIGN.md §2.9.
+type Levels = graph.Levels
 
 // Benes is the Beneš rearrangeable baseline network.
 type Benes = benes.Network
@@ -173,6 +184,31 @@ func NewBenes(k int) (*Benes, error) { return benes.New(k) }
 // degree d.
 func NewSuperconcentrator(n, d int, seed uint64) (*Superconcentrator, error) {
 	return superconc.New(n, d, seed)
+}
+
+// WrapGraph adapts any acyclic switch graph with marked terminals to the
+// Network interface by treating its topological levels as stages, so the
+// whole trial pipeline — batched injection, word-parallel certification,
+// sharded churn — runs on arbitrary DAG topologies (Mirror() images,
+// superconcentrators, hammock substitutions, HyperX, circulants) exactly
+// as it does on Network 𝒩.
+func WrapGraph(g *Graph) (*Network, error) { return core.WrapGraph(g) }
+
+// HyperX is a DAG-unrolled HyperX interconnect (hold + per-dimension
+// crossbar edges per hop).
+type HyperX = hyperx.Network
+
+// NewHyperX builds the DAG unrolling of the HyperX topology with the
+// given per-dimension router counts, depth hops deep.
+func NewHyperX(dims []int, depth int) (*HyperX, error) { return hyperx.New(dims, depth) }
+
+// Circulant is a DAG-unrolled circulant graph C(n; strides).
+type Circulant = circulant.Network
+
+// NewCirculant builds the DAG unrolling of the circulant graph C(n;
+// strides), depth hops deep.
+func NewCirculant(n int, strides []int, depth int) (*Circulant, error) {
+	return circulant.New(n, strides, depth)
 }
 
 // Clos is a three-stage Clos network.

@@ -70,6 +70,37 @@ func TestSuperconcentratorFacade(t *testing.T) {
 	}
 }
 
+// TestTopologyZooFacade exercises the Levels/WrapGraph surface: build a
+// permuted-sweep HyperX and a circulant, wrap them, and run the full
+// Theorem-2 trial pipeline on each.
+func TestTopologyZooFacade(t *testing.T) {
+	hx, err := NewHyperX([]int{3, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := NewCirculant(8, []int{1, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, g := range map[string]*Graph{"hyperx": hx.G, "circulant": cc.G} {
+		lv, err := g.Levels()
+		if err != nil {
+			t.Fatalf("%s: levels: %v", name, err)
+		}
+		if lv.Sorted() {
+			t.Fatalf("%s: expected a permuted-sweep family (IDs not level-sorted)", name)
+		}
+		nw, err := WrapGraph(g)
+		if err != nil {
+			t.Fatalf("%s: wrap: %v", name, err)
+		}
+		out := nw.Evaluate(Symmetric(0), 1, 50)
+		if !out.MajorityAccess {
+			t.Fatalf("%s: fault-free majority access failed: %+v", name, out)
+		}
+	}
+}
+
 func TestAccountingFacade(t *testing.T) {
 	p := DefaultParams(3)
 	a := Accounting(p)

@@ -57,6 +57,10 @@ func (s *slab[T]) take(n int) []T {
 
 func (s *slab[T]) reset() { s.off = 0 }
 
+// resetter lets Reset reclaim the dynamically-typed slabs of Typed
+// without knowing their element types.
+type resetter interface{ reset() }
+
 // Arena is a set of typed bump slabs. The zero value is ready to use; a
 // nil *Arena is also valid and allocates with make (see the package
 // comment).
@@ -68,6 +72,11 @@ type Arena struct {
 	u32s  slab[uint32]
 	u64s  slab[uint64]
 	ints  slab[int]
+
+	// typed holds one slab per element type handed to Typed, keyed by a
+	// zero-length array of that type — comparable, unique per type, and
+	// free of reflection.
+	typed map[any]resetter
 }
 
 // New returns an empty arena.
@@ -86,6 +95,9 @@ func (a *Arena) Reset() {
 	a.u32s.reset()
 	a.u64s.reset()
 	a.ints.reset()
+	for _, s := range a.typed {
+		s.reset()
+	}
 }
 
 // Bools takes a zeroed []bool of length n.
@@ -142,4 +154,27 @@ func (a *Arena) Ints(n int) []int {
 		return make([]int, n)
 	}
 	return a.ints.take(n)
+}
+
+// Typed takes a zeroed []T of length n from a's slab for T, creating the
+// slab on first use — the escape hatch for caller-defined element types
+// (e.g. fault.State) that the fixed accessors above cannot name without
+// an import cycle. T must be comparable-hashable as a zero-length array
+// (any fixed-size value type is); like every take, the result is zeroed
+// and invalidated by Reset. It is a package function, not a method,
+// because Go methods cannot introduce type parameters.
+func Typed[T any](a *Arena, n int) []T {
+	if a == nil {
+		return make([]T, n)
+	}
+	key := any([0]T{})
+	s, _ := a.typed[key].(*slab[T])
+	if s == nil {
+		s = &slab[T]{}
+		if a.typed == nil {
+			a.typed = make(map[any]resetter)
+		}
+		a.typed[key] = s
+	}
+	return s.take(n)
 }

@@ -87,3 +87,61 @@ func TestAllTypesAndZeroLength(t *testing.T) {
 		t.Fatal("typed takes")
 	}
 }
+
+func TestTypedZeroedAndPerTypeSlabs(t *testing.T) {
+	type stateA uint8
+	type stateB uint8
+	a := New()
+	xa := Typed[stateA](a, 16)
+	xb := Typed[stateB](a, 16)
+	if len(xa) != 16 || len(xb) != 16 {
+		t.Fatal("typed takes wrong length")
+	}
+	for i := range xa {
+		xa[i] = 0x5A
+	}
+	// Distinct element types must not share a slab: xb stays zero.
+	for i, v := range xb {
+		if v != 0 {
+			t.Fatalf("cross-type slab sharing at %d: %v", i, v)
+		}
+	}
+	// Same type bumps within one slab: a second take must not alias.
+	ya := Typed[stateA](a, 16)
+	for i, v := range ya {
+		if v != 0 {
+			t.Fatalf("second take not zeroed at %d: %v", i, v)
+		}
+	}
+	ya[0] = 1
+	if xa[0] != 0x5A {
+		t.Fatal("takes alias")
+	}
+}
+
+func TestTypedResetRecyclesAndZeroes(t *testing.T) {
+	type state uint8
+	a := New()
+	x := Typed[state](a, 64)
+	for i := range x {
+		x[i] = 0xFF
+	}
+	a.Reset()
+	y := Typed[state](a, 64)
+	if &x[0] != &y[0] {
+		t.Fatal("Reset did not recycle the typed slab")
+	}
+	for i, v := range y {
+		if v != 0 {
+			t.Fatalf("recycled typed memory not zeroed at %d", i)
+		}
+	}
+}
+
+func TestTypedNilArena(t *testing.T) {
+	type state uint8
+	x := Typed[state](nil, 8)
+	if len(x) != 8 {
+		t.Fatal("nil arena Typed")
+	}
+}

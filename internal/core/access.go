@@ -68,8 +68,14 @@ func RepairMasksInto(inst *fault.Instance, m *Masks) {
 // counting how many vertices of a target stage an idle terminal can reach
 // through idle usable vertices. It owns epoch-stamped scratch so repeated
 // checks over one network allocate nothing.
+//
+// "Stage" comparisons run on the graph's topological levels
+// (graph.Levels): for 𝒩 and every staged MIN the level assignment IS the
+// stage assignment, so nothing changes there, while wrapped networks
+// (WrapGraph) get the same checks over their level structure.
 type AccessChecker struct {
 	nw    *Network
+	level []int32 // per-vertex topological level (== stage for 𝒩)
 	seen  []uint32
 	epoch uint32
 	queue []int32
@@ -91,10 +97,23 @@ func NewAccessChecker(nw *Network) *AccessChecker { return NewAccessCheckerIn(nw
 func NewAccessCheckerIn(nw *Network, a *arena.Arena) *AccessChecker {
 	return &AccessChecker{
 		nw:    nw,
+		level: networkLevels(nw),
 		seen:  a.U32(nw.G.NumVertices()),
 		queue: a.I32(1024)[:0],
 		a:     a,
 	}
+}
+
+// networkLevels returns the per-vertex level array the access checks
+// compare against. Every Network's graph is acyclic (𝒩 by construction,
+// wrapped graphs by WrapGraph's check); the stage-array fallback only
+// guards hand-built test networks with cyclic graphs, where the BFS then
+// behaves as it historically did on stages.
+func networkLevels(nw *Network) []int32 {
+	if lv, err := nw.G.Levels(); err == nil {
+		return lv.PerVertex()
+	}
+	return nw.G.Stages()
 }
 
 func (ac *AccessChecker) bump() {
@@ -122,12 +141,12 @@ func (ac *AccessChecker) CountForward(src int32, targetStage int, m Masks) int {
 	ac.queue = ac.queue[:0]
 	ac.queue = append(ac.queue, src)
 	count := 0
-	if g.Stage(src) == target {
+	if ac.level[src] == target {
 		count++
 	}
 	for head := 0; head < len(ac.queue); head++ {
 		v := ac.queue[head]
-		if g.Stage(v) >= target {
+		if ac.level[v] >= target {
 			continue
 		}
 		for _, e := range g.OutEdges(v) {
@@ -139,7 +158,7 @@ func (ac *AccessChecker) CountForward(src int32, targetStage int, m Masks) int {
 				continue
 			}
 			ac.seen[w] = ac.epoch
-			if g.Stage(w) == target {
+			if ac.level[w] == target {
 				count++
 			}
 			ac.queue = append(ac.queue, w)
@@ -156,7 +175,7 @@ func (ac *AccessChecker) CountForward(src int32, targetStage int, m Masks) int {
 func (ac *AccessChecker) countForwardFast(src int32, targetStage int, allowed []uint8) int {
 	g := ac.nw.G
 	start, _, heads := g.CSROut()
-	stage := g.Stages()
+	level := ac.level
 	target := int32(targetStage)
 	ac.bump()
 	seen, epoch := ac.seen, ac.epoch
@@ -164,12 +183,12 @@ func (ac *AccessChecker) countForwardFast(src int32, targetStage int, allowed []
 	ac.queue = ac.queue[:0]
 	ac.queue = append(ac.queue, src)
 	count := 0
-	if stage[src] == target {
+	if level[src] == target {
 		count++
 	}
 	for head := 0; head < len(ac.queue); head++ {
 		v := ac.queue[head]
-		if stage[v] >= target {
+		if level[v] >= target {
 			continue
 		}
 		for idx := start[v]; idx < start[v+1]; idx++ {
@@ -181,7 +200,7 @@ func (ac *AccessChecker) countForwardFast(src int32, targetStage int, allowed []
 				continue
 			}
 			seen[w] = epoch
-			if stage[w] == target {
+			if level[w] == target {
 				count++
 			}
 			ac.queue = append(ac.queue, w)
@@ -203,12 +222,12 @@ func (ac *AccessChecker) CountBackward(dst int32, targetStage int, m Masks) int 
 	ac.queue = ac.queue[:0]
 	ac.queue = append(ac.queue, dst)
 	count := 0
-	if g.Stage(dst) == target {
+	if ac.level[dst] == target {
 		count++
 	}
 	for head := 0; head < len(ac.queue); head++ {
 		v := ac.queue[head]
-		if g.Stage(v) <= target {
+		if ac.level[v] <= target {
 			continue
 		}
 		for _, e := range g.InEdges(v) {
@@ -220,7 +239,7 @@ func (ac *AccessChecker) CountBackward(dst int32, targetStage int, m Masks) int 
 				continue
 			}
 			ac.seen[w] = ac.epoch
-			if g.Stage(w) == target {
+			if ac.level[w] == target {
 				count++
 			}
 			ac.queue = append(ac.queue, w)
@@ -233,7 +252,7 @@ func (ac *AccessChecker) CountBackward(dst int32, targetStage int, m Masks) int 
 func (ac *AccessChecker) countBackwardFast(dst int32, targetStage int, allowed []uint8) int {
 	g := ac.nw.G
 	start, _, tails := g.CSRIn()
-	stage := g.Stages()
+	level := ac.level
 	target := int32(targetStage)
 	ac.bump()
 	seen, epoch := ac.seen, ac.epoch
@@ -241,12 +260,12 @@ func (ac *AccessChecker) countBackwardFast(dst int32, targetStage int, allowed [
 	ac.queue = ac.queue[:0]
 	ac.queue = append(ac.queue, dst)
 	count := 0
-	if stage[dst] == target {
+	if level[dst] == target {
 		count++
 	}
 	for head := 0; head < len(ac.queue); head++ {
 		v := ac.queue[head]
-		if stage[v] <= target {
+		if level[v] <= target {
 			continue
 		}
 		for idx := start[v]; idx < start[v+1]; idx++ {
@@ -258,7 +277,7 @@ func (ac *AccessChecker) countBackwardFast(dst int32, targetStage int, allowed [
 				continue
 			}
 			seen[w] = epoch
-			if stage[w] == target {
+			if level[w] == target {
 				count++
 			}
 			ac.queue = append(ac.queue, w)

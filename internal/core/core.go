@@ -182,8 +182,9 @@ type Network struct {
 	MiddleStage int
 }
 
-// NumStages returns 4ν+1.
-func (nw *Network) NumStages() int { return len(nw.StageBase) }
+// NumStages returns 4ν+1 for 𝒩, or the level count for a wrapped network
+// (see WrapGraph).
+func (nw *Network) NumStages() int { return len(nw.StageSize) }
 
 // Inputs returns the input terminals (stage 0).
 func (nw *Network) Inputs() []int32 { return nw.G.Inputs() }

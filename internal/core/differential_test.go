@@ -4,9 +4,15 @@ import (
 	"fmt"
 	"testing"
 
+	"ftcsn/internal/benes"
+	"ftcsn/internal/circulant"
 	"ftcsn/internal/fault"
+	"ftcsn/internal/graph"
+	"ftcsn/internal/hammock"
+	"ftcsn/internal/hyperx"
 	"ftcsn/internal/montecarlo"
 	"ftcsn/internal/rng"
+	"ftcsn/internal/superconc"
 )
 
 // This file is the correctness gate for the batched fault-injection
@@ -20,7 +26,14 @@ import (
 // diffFamilies returns the networks the differential grid runs over:
 // distinct structural families of 𝒩 (paper-default rows, tall grids with
 // low-degree expanders, explicit Gabber–Galil expanders, and a ν=2
-// instance with a real recursive middle).
+// instance with a real recursive middle), plus the topology zoo served
+// through the graph.Levels contract — a Mirror() image, an
+// expander-based superconcentrator, a hammock-substituted Beneš, and the
+// DAG-unrolled hyperx and circulant interconnects, each wrapped by
+// WrapGraph. The wrapped families deliberately include permuted-sweep
+// graphs (vertex IDs not level-sorted) so every differential grid
+// exercises the level-order paths, not just the historical identity
+// sweeps.
 func diffFamilies(t testing.TB) map[string]*Network {
 	t.Helper()
 	fams := map[string]Params{
@@ -29,7 +42,7 @@ func diffFamilies(t testing.TB) map[string]*Network {
 		"explicit-nu1": {Nu: 1, Gamma: 0, M: 4, DQ: 1, Explicit: true, Seed: 1},
 		"default-nu2":  DefaultParams(2),
 	}
-	nws := make(map[string]*Network, len(fams))
+	nws := make(map[string]*Network, len(fams)+5)
 	for name, p := range fams {
 		nw, err := Build(p)
 		if err != nil {
@@ -37,6 +50,34 @@ func diffFamilies(t testing.TB) map[string]*Network {
 		}
 		nws[name] = nw
 	}
+	wrap := func(name string, g *graph.Graph) {
+		nw, err := WrapGraph(g)
+		if err != nil {
+			t.Fatalf("wrap %s: %v", name, err)
+		}
+		nws[name] = nw
+	}
+	wrap("mirror-nu1", nws["default-nu1"].G.Mirror())
+	sc, err := superconc.New(16, 3, 0xD1FF)
+	if err != nil {
+		t.Fatalf("build superconc-16: %v", err)
+	}
+	wrap("superconc-16", sc.G)
+	bn, err := benes.New(2)
+	if err != nil {
+		t.Fatalf("build benes(2): %v", err)
+	}
+	wrap("benes-hammock", hammock.SubstituteEdges(bn.G, 2, 2, false))
+	hx, err := hyperx.New([]int{2, 2}, 2)
+	if err != nil {
+		t.Fatalf("build hyperx-2x2: %v", err)
+	}
+	wrap("hyperx-2x2", hx.G)
+	cc, err := circulant.New(6, []int{1, 2}, 3)
+	if err != nil {
+		t.Fatalf("build circulant-6: %v", err)
+	}
+	wrap("circulant-6", cc.G)
 	return nws
 }
 

@@ -108,7 +108,7 @@ func NewEvaluatorIn(nw *Network, a *arena.Arena) *Evaluator {
 	rt.EnablePathReuse()
 	ev := &Evaluator{
 		nw:    nw,
-		inst:  fault.NewInstance(nw.G),
+		inst:  fault.NewInstanceIn(nw.G, a),
 		fsc:   fault.NewScratchIn(nw.G, a),
 		ac:    NewAccessCheckerIn(nw, a),
 		rt:    rt,

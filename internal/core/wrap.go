@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+
+	"ftcsn/internal/graph"
+)
+
+// WrapGraph adapts an arbitrary acyclic terminal network — an expander
+// chain, a hammock substitution, a Mirror() image, a hyperx or circulant
+// unrolling — to the certification machinery built for 𝒩: the graph's
+// topological levels (graph.Levels) play the role of stages, StageSize
+// holds the per-level vertex counts, and MiddleStage is the central level
+// ⌊L/2⌋, so MajorityAccess measures every terminal's access to a majority
+// of the middle level exactly as Lemma 6 does for 𝒩's middle stage. The
+// word-parallel BatchAccessChecker, the evaluator pipeline, and the churn
+// engines all run unmodified on the wrapped network.
+//
+// P is left zero: the wrapped network has no 𝒩 parameters, so
+// 𝒩-specific measurements (GridAccessCount, Theorem-2 bounds) do not
+// apply. StageBase is populated only when vertex IDs are level-sorted;
+// VertexAt panics otherwise.
+//
+// Errors: cyclic graphs (no leveling) and graphs without terminals are
+// rejected.
+func WrapGraph(g *graph.Graph) (*Network, error) {
+	lv, err := g.Levels()
+	if err != nil {
+		return nil, fmt.Errorf("core: WrapGraph: %w", err)
+	}
+	if len(g.Inputs()) == 0 || len(g.Outputs()) == 0 {
+		return nil, fmt.Errorf("core: WrapGraph: graph has %d inputs, %d outputs", len(g.Inputs()), len(g.Outputs()))
+	}
+	L := lv.NumLevels()
+	if L < 2 {
+		return nil, fmt.Errorf("core: WrapGraph: %d levels; need at least an input and an output level", L)
+	}
+	first := lv.First()
+	sizes := make([]int32, L)
+	for l := 0; l < L; l++ {
+		sizes[l] = first[l+1] - first[l]
+	}
+	nw := &Network{
+		G:           g,
+		StageSize:   sizes,
+		MiddleStage: L / 2,
+	}
+	if lv.Sorted() {
+		nw.StageBase = first[:L:L]
+	}
+	return nw, nil
+}

@@ -8,7 +8,13 @@ import (
 	"ftcsn/internal/fault"
 	"ftcsn/internal/graph"
 	"ftcsn/internal/rng"
+	"ftcsn/internal/route"
 )
+
+// churnShards is the shard count of the experiment pipeline's churn
+// engine. Sharded decisions are shard-count-independent, so the value
+// trades only speed, never output.
+const churnShards = 4
 
 // witnessScratch is the worker-local state for experiments that only need
 // fault injection plus the paper's failure witnesses: one reusable fault
@@ -74,7 +80,7 @@ func batchWitnessScratchFor(pool *core.EvaluatorPool, g *graph.Graph, eps float6
 			a = pool.Get()
 		}
 		return &batchWitnessScratch{
-			witnessScratch: witnessScratch{inst: fault.NewInstance(g), sc: fault.NewScratchIn(g, a)},
+			witnessScratch: witnessScratch{inst: fault.NewInstanceIn(g, a), sc: fault.NewScratchIn(g, a)},
 			bi:             fault.NewBatchInjectorIn(g, a),
 			model:          fault.Symmetric(eps),
 			pool:           pool,
@@ -192,12 +198,20 @@ func (s *batchEvalScratch) StartBlock(seed, first uint64, n int) {
 // when pool is non-nil the evaluator's buffers come from a pooled arena
 // (fold results with mergeBatchEval, then hand the arenas back with
 // releaseBatchEval).
+//
+// Every scratch churns through a ShardedEngine: decisions and paths are
+// contractually bit-identical to the default sequential router (locked by
+// the churn differential harness and the E9 parity rows), and the guided
+// probes make churn-heavy experiments markedly faster. Per-op ChurnWith
+// remains on the sequential router — that seam belongs to the differential
+// harness, not the experiment pipeline.
 func batchEvalScratchFor(pool *core.EvaluatorPool, nw *core.Network, m fault.Model, seq bool) func() *batchEvalScratch {
 	return func() *batchEvalScratch {
 		ev := core.NewEvaluator(nw)
 		if pool != nil {
 			ev = pool.NewEvaluator(nw)
 		}
+		ev.SetChurnEngine(route.NewShardedEngine(nw.G, churnShards))
 		return &batchEvalScratch{
 			evalScratch: evalScratch{ev: ev, minFrac: math.Inf(1)},
 			model:       m,

@@ -1,4 +1,4 @@
-// Package experiments defines the reproduction experiments E1–E13 that
+// Package experiments defines the reproduction experiments E1–E14 that
 // regenerate every quantitative artifact of Pippenger & Lin: Proposition 1
 // (Moore–Shannon amplifiers), Lemma 1/Figs 1–3 (tree path extraction),
 // Lemma 3/Fig 4 (directed-grid access), Lemmas 4–5 (expander fault tails),
@@ -80,5 +80,6 @@ func Registry() []struct {
 		{"E11", E11Substitution},
 		{"E12", E12Hierarchy},
 		{"E13", E13DepthSizeFrontier},
+		{"E14", E14FamilyZoo},
 	}
 }

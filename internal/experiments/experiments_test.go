@@ -42,10 +42,10 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 
 func TestRegistryOrder(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 13 {
+	if len(reg) != 14 {
 		t.Fatalf("registry has %d experiments", len(reg))
 	}
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
 	for i, e := range reg {
 		if e.ID != want[i] {
 			t.Fatalf("registry[%d] = %s, want %s", i, e.ID, want[i])

@@ -74,7 +74,7 @@ func NewBatchInjectorIn(g *graph.Graph, a *arena.Arena) *BatchInjector {
 	return &BatchInjector{
 		g:          g,
 		off:        []int{0},
-		oldState:   make([]State, g.NumEdges()),
+		oldState:   arena.Typed[State](a, g.NumEdges()),
 		touchEpoch: a.U32(g.NumEdges()),
 	}
 }

@@ -85,7 +85,13 @@ type Instance struct {
 
 // NewInstance returns a fault-free instance for g.
 func NewInstance(g *graph.Graph) *Instance {
-	return &Instance{G: g, Edge: make([]State, g.NumEdges())}
+	return NewInstanceIn(g, nil)
+}
+
+// NewInstanceIn is NewInstance drawing the per-edge state vector — the
+// instance's one O(E) buffer — from a (nil a allocates normally).
+func NewInstanceIn(g *graph.Graph, a *arena.Arena) *Instance {
+	return &Instance{G: g, Edge: arena.Typed[State](a, g.NumEdges())}
 }
 
 // Inject draws a fresh instance for g under model m using r.

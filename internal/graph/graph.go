@@ -160,10 +160,12 @@ type Graph struct {
 	inSlot     []int32 // inSlot[e] = position of e in inEdges
 	isTerminal []bool
 
-	// Lazily computed stage-layout metadata (see StageLayout).
-	layoutOnce  sync.Once
-	layoutFirst []int32
-	layoutOK    bool
+	// Lazily computed topological-level metadata (see Levels). Mirror
+	// pre-seeds levels/levelsErr with the assignment derived from the
+	// original; the Once then keeps whatever is already there.
+	levelsOnce sync.Once
+	levels     *Levels
+	levelsErr  error
 }
 
 // NumVertices returns the vertex count.
@@ -223,57 +225,6 @@ func (g *Graph) InSlot(e int32) int32 { return g.inSlot[e] }
 
 // Stages exposes the per-vertex stage array (shared; do not mutate).
 func (g *Graph) Stages() []int32 { return g.stage }
-
-// StageLayout reports whether the graph is stage-ordered — every vertex is
-// staged, vertex IDs are sorted by nondecreasing stage, and every edge
-// steps from a lower stage to a strictly higher one — and, when it is,
-// returns the per-stage vertex ranges: first[s] is the first vertex ID of
-// stage s, first[s+1] its one-past-the-end, with len(first) = maxStage+2.
-//
-// On a stage-ordered graph a single pass over vertices in ID order is a
-// topological order in which every CSR slot of stage s is visited before
-// any slot of stage s+1 — the iteration contract behind the word-parallel
-// batched reachability sweeps (core.BatchAccessChecker). The layout is
-// computed once, lazily, and shared; callers must not mutate it. ok is
-// false for unstaged, unsorted, or non-monotone graphs (e.g. Mirror
-// images, whose stages decrease in ID order) — callers fall back to
-// per-source BFS there.
-func (g *Graph) StageLayout() (first []int32, ok bool) {
-	g.layoutOnce.Do(g.computeStageLayout)
-	return g.layoutFirst, g.layoutOK
-}
-
-func (g *Graph) computeStageLayout() {
-	n := len(g.stage)
-	if n == 0 {
-		return
-	}
-	prev := int32(0)
-	for _, s := range g.stage {
-		if s == NoStage || s < prev {
-			return
-		}
-		prev = s
-	}
-	for e := range g.edgeFrom {
-		if g.stage[g.edgeFrom[e]] >= g.stage[g.edgeTo[e]] {
-			return
-		}
-	}
-	// Prefix sums over per-stage counts: with IDs stage-sorted, the number
-	// of vertices on stages < s is exactly the first vertex ID of stage s.
-	// Empty stages get first[s] == first[s+1] for free.
-	maxStage := g.stage[n-1]
-	first := make([]int32, maxStage+2)
-	for _, s := range g.stage {
-		first[s+1]++
-	}
-	for s := int32(0); s <= maxStage; s++ {
-		first[s+1] += first[s]
-	}
-	g.layoutFirst = first
-	g.layoutOK = true
-}
 
 // Traversal-mask bits for the CSR-slot-aligned "allowed" byte arrays built
 // by BuildOutAllowed/BuildInAllowed and consumed by the routing and access
@@ -367,6 +318,12 @@ func (g *Graph) MaxDegree() int {
 // Mirror returns the mirror image of g in the paper's sense: inputs and
 // outputs are exchanged and every edge is reversed. Vertex and edge IDs are
 // preserved, so fault states computed for g apply verbatim to the mirror.
+//
+// The mirror's topological levels are derived from the original rather
+// than recomputed: reversing every edge reflects a valid leveling, so the
+// mirror's level of v is maxLevel − level(v). Mirrors of acyclic graphs
+// are therefore always levelable — including mirrors of unstaged graphs —
+// and keep every level-gated fast path.
 func (g *Graph) Mirror() *Graph {
 	n := g.NumVertices()
 	m := g.NumEdges()
@@ -393,7 +350,11 @@ func (g *Graph) Mirror() *Graph {
 	for _, v := range g.inputs {
 		b.MarkOutput(v)
 	}
-	return b.Freeze()
+	mg := b.Freeze()
+	if lv, err := g.Levels(); err == nil {
+		mg.levels = lv.mirrored()
+	}
+	return mg
 }
 
 // TopoOrder returns a topological order of the vertices, or an error if the

@@ -355,7 +355,47 @@ func b2u(b bool) uint8 {
 	return 0
 }
 
-func TestStageLayoutStaged(t *testing.T) {
+// checkLevels verifies the Levels contract on g: every edge strictly
+// increases level, First() brackets the traversal order by level, and the
+// order (identity when Sorted) is a permutation that is level-sorted and
+// ID-stable within a level.
+func checkLevels(t *testing.T, g *Graph, lv *Levels) {
+	t.Helper()
+	n := int32(g.NumVertices())
+	for e := int32(0); e < int32(g.NumEdges()); e++ {
+		u, v := g.EdgeFrom(e), g.EdgeTo(e)
+		if lv.Of(u) >= lv.Of(v) {
+			t.Fatalf("edge %d: level %d -> %d not strictly increasing", e, lv.Of(u), lv.Of(v))
+		}
+	}
+	first := lv.First()
+	if len(first) != lv.NumLevels()+1 || first[0] != 0 || first[len(first)-1] != n {
+		t.Fatalf("first = %v for n=%d levels=%d", first, n, lv.NumLevels())
+	}
+	seen := make([]bool, n)
+	prevLevel := int32(-1)
+	prevID := int32(-1)
+	for pos := int32(0); pos < n; pos++ {
+		v := lv.At(pos)
+		if seen[v] {
+			t.Fatalf("order repeats vertex %d", v)
+		}
+		seen[v] = true
+		l := lv.Of(v)
+		if pos < first[l] || pos >= first[l+1] {
+			t.Fatalf("vertex %d (level %d) at position %d outside [%d,%d)", v, l, pos, first[l], first[l+1])
+		}
+		if l < prevLevel || (l == prevLevel && v < prevID) {
+			t.Fatalf("order not level-sorted ID-stable at position %d", pos)
+		}
+		prevLevel, prevID = l, v
+	}
+	if lv.Sorted() != (lv.Order() == nil) {
+		t.Fatal("Sorted/Order disagree")
+	}
+}
+
+func TestLevelsStagedSorted(t *testing.T) {
 	b := NewBuilder(8, 8)
 	// Stage 0: v0,v1; stage 1: v2,v3,v4; stage 3: v5 (stage 2 empty).
 	v0 := b.AddVertex(0)
@@ -368,11 +408,17 @@ func TestStageLayoutStaged(t *testing.T) {
 	b.AddEdge(v1, v4)
 	b.AddEdge(v2, v5) // stage 1 -> 3 skip is still strictly increasing
 	g := b.Freeze()
-	first, ok := g.StageLayout()
-	if !ok {
-		t.Fatal("staged sorted graph not recognized")
+	lv, err := g.Levels()
+	if err != nil {
+		t.Fatalf("Levels: %v", err)
+	}
+	// Stage-derived assignment, identity order: First() holds the old
+	// stage-layout prefix sums over vertex IDs.
+	if !lv.Sorted() {
+		t.Fatal("stage-sorted graph should have identity order")
 	}
 	want := []int32{0, 2, 5, 5, 6}
+	first := lv.First()
 	if len(first) != len(want) {
 		t.Fatalf("first = %v, want %v", first, want)
 	}
@@ -381,44 +427,116 @@ func TestStageLayoutStaged(t *testing.T) {
 			t.Fatalf("first = %v, want %v", first, want)
 		}
 	}
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if lv.Of(v) != g.Stage(v) {
+			t.Fatalf("vertex %d: level %d != stage %d", v, lv.Of(v), g.Stage(v))
+		}
+	}
+	checkLevels(t, g, lv)
 	// Idempotent (cached) and shared.
-	again, ok2 := g.StageLayout()
-	if !ok2 || &again[0] != &first[0] {
-		t.Fatal("StageLayout not cached")
+	again, err := g.Levels()
+	if err != nil || again != lv {
+		t.Fatal("Levels not cached")
 	}
 	_ = v5
 }
 
-func TestStageLayoutRejects(t *testing.T) {
-	// Unstaged vertex.
+func TestLevelsLongestPath(t *testing.T) {
+	// Unstaged diamond with a long arm; IDs deliberately not level-sorted.
+	b := NewBuilder(8, 8)
+	sink := b.AddVertex(NoStage) // v0, level 3
+	src := b.AddVertex(NoStage)  // v1, level 0
+	a := b.AddVertex(NoStage)    // v2, level 1
+	c := b.AddVertex(NoStage)    // v3, level 1
+	d := b.AddVertex(NoStage)    // v4, level 2 (via a)
+	b.AddEdge(src, a)
+	b.AddEdge(src, c)
+	b.AddEdge(a, d)
+	b.AddEdge(d, sink)
+	b.AddEdge(c, sink) // short arm: sink's level is the LONGEST path, 3
+	g := b.Freeze()
+	lv, err := g.Levels()
+	if err != nil {
+		t.Fatalf("Levels: %v", err)
+	}
+	wantLevel := []int32{3, 0, 1, 1, 2}
+	for v, w := range wantLevel {
+		if lv.Of(int32(v)) != w {
+			t.Fatalf("vertex %d: level %d, want %d", v, lv.Of(int32(v)), w)
+		}
+	}
+	if lv.Sorted() {
+		t.Fatal("v0 has the top level but the lowest ID; order must permute")
+	}
+	checkLevels(t, g, lv)
+}
+
+func TestLevelsStagedUnsorted(t *testing.T) {
+	// Staged and stage-monotone but IDs unsorted: the stage assignment is
+	// kept and the traversal order permutes.
 	b := NewBuilder(2, 1)
-	b.AddVertex(0)
-	b.AddVertex(NoStage)
-	if _, ok := b.Freeze().StageLayout(); ok {
-		t.Fatal("unstaged graph accepted")
+	hi := b.AddVertex(1)
+	lo := b.AddVertex(0)
+	b.AddEdge(lo, hi)
+	g := b.Freeze()
+	lv, err := g.Levels()
+	if err != nil {
+		t.Fatalf("Levels: %v", err)
 	}
-	// IDs not sorted by stage.
-	b = NewBuilder(2, 0)
-	b.AddVertex(1)
-	b.AddVertex(0)
-	if _, ok := b.Freeze().StageLayout(); ok {
-		t.Fatal("stage-unsorted graph accepted")
+	if lv.Of(hi) != 1 || lv.Of(lo) != 0 || lv.Sorted() {
+		t.Fatalf("levels = %v sorted=%v", lv.PerVertex(), lv.Sorted())
 	}
-	// Edge not strictly increasing in stage.
-	b = NewBuilder(2, 1)
+	checkLevels(t, g, lv)
+}
+
+func TestLevelsNonMonotoneStagesFallBack(t *testing.T) {
+	// A same-stage edge invalidates the stage assignment; the longest-path
+	// leveling takes over (and still levels the graph).
+	b := NewBuilder(2, 1)
 	u := b.AddVertex(0)
 	v := b.AddVertex(0)
 	b.AddEdge(u, v)
-	if _, ok := b.Freeze().StageLayout(); ok {
-		t.Fatal("same-stage edge accepted")
+	g := b.Freeze()
+	lv, err := g.Levels()
+	if err != nil {
+		t.Fatalf("Levels: %v", err)
 	}
-	// Empty graph.
-	if _, ok := NewBuilder(0, 0).Freeze().StageLayout(); ok {
-		t.Fatal("empty graph accepted")
+	if lv.Of(u) != 0 || lv.Of(v) != 1 {
+		t.Fatalf("levels = %v", lv.PerVertex())
+	}
+	checkLevels(t, g, lv)
+}
+
+func TestLevelsCycleError(t *testing.T) {
+	b := NewBuilder(2, 2)
+	u := b.AddVertex(NoStage)
+	v := b.AddVertex(NoStage)
+	b.AddEdge(u, v)
+	b.AddEdge(v, u)
+	g := b.Freeze()
+	if _, err := g.Levels(); err == nil {
+		t.Fatal("cyclic graph leveled")
+	}
+	// The error is cached too.
+	if _, err := g.Levels(); err == nil {
+		t.Fatal("cached result lost the error")
 	}
 }
 
-func TestStageLayoutMirrorFallsBack(t *testing.T) {
+func TestLevelsEmptyGraph(t *testing.T) {
+	lv, err := NewBuilder(0, 0).Freeze().Levels()
+	if err != nil {
+		t.Fatalf("Levels: %v", err)
+	}
+	if lv.NumLevels() != 0 || !lv.Sorted() {
+		t.Fatalf("empty graph: levels=%d sorted=%v", lv.NumLevels(), lv.Sorted())
+	}
+}
+
+func TestLevelsMirrorDerived(t *testing.T) {
+	// Staged chain: the mirror keeps vertex IDs, so its levels DEcrease in
+	// ID order — levelable via the reflected assignment, with a permuted
+	// traversal order.
 	b := NewBuilder(4, 3)
 	in := b.AddVertex(0)
 	mid := b.AddVertex(1)
@@ -428,11 +546,36 @@ func TestStageLayoutMirrorFallsBack(t *testing.T) {
 	b.MarkInput(in)
 	b.MarkOutput(out)
 	g := b.Freeze()
-	if _, ok := g.StageLayout(); !ok {
-		t.Fatal("forward chain should be stage-ordered")
+	m := g.Mirror()
+	mlv, err := m.Levels()
+	if err != nil {
+		t.Fatalf("mirror Levels: %v", err)
 	}
-	// Mirror keeps vertex IDs but reverses stages, so IDs are stage-DEcreasing.
-	if _, ok := g.Mirror().StageLayout(); ok {
-		t.Fatal("mirror image should not be stage-ordered")
+	lv, _ := g.Levels()
+	maxLevel := int32(lv.NumLevels() - 1)
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if mlv.Of(v) != maxLevel-lv.Of(v) {
+			t.Fatalf("vertex %d: mirror level %d, want %d", v, mlv.Of(v), maxLevel-lv.Of(v))
+		}
 	}
+	if mlv.Sorted() {
+		t.Fatal("mirror of a forward chain should need a permutation")
+	}
+	checkLevels(t, m, mlv)
+
+	// Mirror of an UNSTAGED graph is levelable too (derived, not staged).
+	b = NewBuilder(3, 2)
+	x := b.AddVertex(NoStage)
+	y := b.AddVertex(NoStage)
+	z := b.AddVertex(NoStage)
+	b.AddEdge(x, y)
+	b.AddEdge(y, z)
+	b.MarkInput(x)
+	b.MarkOutput(z)
+	um := b.Freeze().Mirror()
+	ulv, err := um.Levels()
+	if err != nil {
+		t.Fatalf("unstaged mirror Levels: %v", err)
+	}
+	checkLevels(t, um, ulv)
 }

@@ -40,6 +40,18 @@ type ConcurrentRouter struct {
 	// this.
 	Workers int
 
+	// Sequential switches ConnectBatch to deterministic in-order serving on
+	// the caller's goroutine: requests run one at a time through the same
+	// CAS claim protocol, but the probe's edge rotation is the attempt
+	// number alone — no search RNG, no batch seed, no scheduler. Any result
+	// prefix is then a function of the claim state and the request prefix,
+	// which is the sequential-batch semantics netsim.ChurnDriver's
+	// speculation requires (batches of any size agree with per-op serving
+	// on the same router). The mode guarantees determinism and
+	// prefix-stability, not decision parity with Workers=1 (whose rotation
+	// is seeded) or with route.Router's hunt order.
+	Sequential bool
+
 	// Engine-seam state: ConnectBatch derives each batch's per-worker
 	// search RNGs from batchSeq (so batch k reproduces ServeBatch(reqs,
 	// workers, k) exactly), reuses the cached worker scratches, and
@@ -138,12 +150,12 @@ func (cr *ConcurrentRouter) newScratch(r *rng.RNG) *scratch {
 }
 
 // probe runs the racy BFS from in to out, skipping vertices currently
-// claimed, and returns a candidate path or nil. Out-edges are scanned in a
-// per-attempt rotated order so retries explore different routes. The hot
+// claimed, and returns a candidate path or nil. Out-edges are scanned in
+// the caller's rotated order (rot) so retries explore different routes. The hot
 // loop reads one traversal byte per CSR slot (graph.AdjBlocked /
 // AdjTerminal) instead of the usable-switch, usable-head and terminal-head
 // lookups, with heads read sequentially.
-func (cr *ConcurrentRouter) probe(sc *scratch, in, out int32, attempt int) []int32 {
+func (cr *ConcurrentRouter) probe(sc *scratch, in, out int32, rot int32) []int32 {
 	sc.epoch++
 	if sc.epoch == 0 {
 		for i := range sc.seenEpoch {
@@ -154,7 +166,6 @@ func (cr *ConcurrentRouter) probe(sc *scratch, in, out int32, attempt int) []int
 	sc.seenEpoch[in] = sc.epoch
 	sc.queue = sc.queue[:0]
 	sc.queue = append(sc.queue, in)
-	rot := int32(attempt + sc.r.Intn(4))
 	start, edges, heads := cr.g.CSROut()
 	allowed := cr.allowed
 	for head := 0; head < len(sc.queue); head++ {
@@ -220,15 +231,21 @@ func (cr *ConcurrentRouter) Release(path []int32) {
 // Claimed reports whether v is currently claimed.
 func (cr *ConcurrentRouter) Claimed(v int32) bool { return cr.claims[v].Load() != 0 }
 
-// ServeOne processes a single request synchronously using sc.
-func (cr *ConcurrentRouter) serveOne(sc *scratch, req Request) Result {
+// serveOne processes a single request synchronously using sc. det selects
+// the deterministic rotation (Sequential mode); otherwise each attempt
+// rotates by the scratch RNG exactly as the CAS schedule always has.
+func (cr *ConcurrentRouter) serveOne(sc *scratch, req Request, det bool) Result {
 	res := Result{Request: req}
 	if !cr.usableVertex(req.In) || !cr.usableVertex(req.Out) {
 		return res
 	}
 	for attempt := 0; attempt < cr.MaxAttempts; attempt++ {
 		res.Attempts = attempt + 1
-		path := cr.probe(sc, req.In, req.Out, attempt)
+		rot := int32(attempt)
+		if !det {
+			rot += int32(sc.r.Intn(4))
+		}
+		path := cr.probe(sc, req.In, req.Out, rot)
 		if path == nil {
 			// No idle path right now; under contention another circuit may
 			// release later, but in batch mode we just fail fast.
@@ -278,11 +295,26 @@ func (cr *ConcurrentRouter) serveBatchInto(results []Result, reqs []Request, wor
 				if i >= int64(len(reqs)) {
 					return
 				}
-				results[i] = cr.serveOne(sc, reqs[i])
+				results[i] = cr.serveOne(sc, reqs[i], false)
 			}
 		}(cr.scratches[w])
 	}
 	wg.Wait()
+}
+
+// serveSequentialInto serves reqs in input order on the caller's
+// goroutine with the deterministic rotation (Sequential mode). Claims
+// still go through the CAS protocol, so circuits interoperate with
+// Release/Reset and concurrent readers see consistent state; the schedule
+// itself consumes no randomness and spawns no goroutines.
+func (cr *ConcurrentRouter) serveSequentialInto(results []Result, reqs []Request) {
+	if len(cr.scratches) == 0 {
+		cr.scratches = append(cr.scratches, cr.newScratch(new(rng.RNG)))
+	}
+	sc := cr.scratches[0]
+	for i := range reqs {
+		results[i] = cr.serveOne(sc, reqs[i], true)
+	}
 }
 
 // ensureCircuits lazily sizes the per-input circuit registry the Engine
@@ -301,8 +333,12 @@ func (cr *ConcurrentRouter) ensureCircuits() {
 func (cr *ConcurrentRouter) ConnectBatch(reqs []Request, res []Result) []Result {
 	res = growResults(res, len(reqs))
 	cr.ensureCircuits()
-	cr.serveBatchInto(res, reqs, cr.Workers, cr.batchSeq)
-	cr.batchSeq++
+	if cr.Sequential {
+		cr.serveSequentialInto(res, reqs)
+	} else {
+		cr.serveBatchInto(res, reqs, cr.Workers, cr.batchSeq)
+		cr.batchSeq++
+	}
 	cr.stats.Batches++
 	cr.stats.Requests += int64(len(reqs))
 	for i := range res {

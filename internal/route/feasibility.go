@@ -4,11 +4,12 @@ package route
 // these ≤64 pending requests have any idle path right now" before any
 // router runs. This is the routing-side instance of the batched
 // reachability trick behind core.BatchAccessChecker (route cannot import
-// core, so the sweep is restated here over the same graph.StageLayout
+// core, so the sweep is restated here over the same graph.Levels
 // contract): every vertex owns one 64-bit lane word, bit l meaning
 // "request l's input reaches this vertex through idle usable vertices",
-// and a single pass over vertices in stage order — a topological order by
-// StageLayout — propagates all 64 frontiers per machine-word OR.
+// and a single pass over vertices in topological-level order — plain ID
+// order on level-sorted graphs, the cached permutation otherwise —
+// propagates all 64 frontiers per machine-word OR.
 //
 // Busy state enters exactly as in the routers' hunts: a claimed vertex is
 // never expanded, so no frontier passes through it (endpoints are screened
@@ -63,14 +64,19 @@ func (lp *lanePass) sweep(se *ShardedEngine, reqs []Request, lanes []int32) uint
 	start, _, heads := se.g.CSROut()
 	allowed := se.cr.allowed
 	claims := se.cr.claims
-	// Stage order == ID order (StageLayout), so one pass visits every slot
-	// after its tail's word is final. Claimed vertices are never expanded:
-	// their word may hold bits, but no frontier continues through them —
-	// the sweep analogue of the hunts' busy check. Output terminals are
-	// reached only through AdjTerminal slots gated by outMask, and were
-	// screened idle, so their surviving bits are exactly the feasible
-	// requests.
-	for v := int32(0); v < int32(len(words)); v++ {
+	order := se.lv.Order()
+	// Level order (graph.Levels), so one pass visits every slot after its
+	// tail's word is final — plain ID order when the graph is level-sorted
+	// (order == nil). Claimed vertices are never expanded: their word may
+	// hold bits, but no frontier continues through them — the sweep
+	// analogue of the hunts' busy check. Output terminals are reached only
+	// through AdjTerminal slots gated by outMask, and were screened idle,
+	// so their surviving bits are exactly the feasible requests.
+	for p := int32(0); p < int32(len(words)); p++ {
+		v := p
+		if order != nil {
+			v = order[p]
+		}
 		w := words[v]
 		if w == 0 || claims[v].Load() != 0 {
 			continue

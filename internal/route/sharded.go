@@ -194,12 +194,16 @@ type ShardedEngine struct {
 	// (outIdx>>6) set iff an allowed-slot path leads from the vertex to
 	// that output, ignoring busy state. Probes prune descents the guide
 	// proves hopeless; pruning is exact, so decisions are unchanged. nil
-	// when the graph has no StageLayout or too many outputs.
+	// when the graph has no leveling or too many outputs.
 	reachOut    []uint64
 	guideGroups int
 	outIdx      []int32 // per-vertex output index, -1 = not an output
 
-	layoutOK bool
+	// lv is the graph's topological leveling (graph.Levels), the iteration
+	// contract behind the feasibility sweep and the guide rebuild. nil only
+	// for cyclic graphs — the cycle-safe fallback: probes still run (DFS
+	// needs no leveling), but the prefilter and guide stay off.
+	lv *graph.Levels
 
 	stats ShardedStats
 }
@@ -248,7 +252,7 @@ func newShardedEngine(g *graph.Graph, cr *ConcurrentRouter, shards int) *Sharded
 	for i, v := range g.Outputs() {
 		se.outIdx[v] = int32(i)
 	}
-	_, se.layoutOK = g.StageLayout()
+	se.lv, _ = g.Levels()
 	se.rebuildGuide()
 	return se
 }
@@ -536,7 +540,7 @@ func (sh *shard) speculate(se *ShardedEngine, reqs []Request) {
 		se.flags[ri] = flagNone
 		live = append(live, ri)
 	}
-	if sweep && se.layoutOK && len(live) > 0 {
+	if sweep && se.lv != nil && len(live) > 0 {
 		if sh.fp == nil {
 			sh.fp = newLanePass(se.g)
 		}
@@ -703,16 +707,16 @@ func (se *ShardedEngine) retirePath(p []int32) {
 }
 
 // rebuildGuide recomputes the per-epoch output-reachability words from the
-// current traversal bytes: one pass over vertices in reverse stage order
-// (valid because StageLayout holds), OR-ing successor words through
-// allowed slots, with AdjTerminal slots contributing the head's output
-// bit. O(E·groups) word operations.
+// current traversal bytes: one pass over vertices in reverse level order
+// (graph.Levels; plain descending IDs on level-sorted graphs), OR-ing
+// successor words through allowed slots, with AdjTerminal slots
+// contributing the head's output bit. O(E·groups) word operations.
 func (se *ShardedEngine) rebuildGuide() {
 	nOut := len(se.g.Outputs())
 	groups := (nOut + 63) >> 6
 	// se.cr.allowed == nil means the masks were detached (an owner released
 	// its arena-backed slices); there is nothing to derive a guide from.
-	if !se.layoutOK || nOut == 0 || groups > maxGuideGroups || se.cr.allowed == nil {
+	if se.lv == nil || nOut == 0 || groups > maxGuideGroups || se.cr.allowed == nil {
 		se.reachOut = nil
 		se.guideGroups = 0
 		return
@@ -727,7 +731,14 @@ func (se *ShardedEngine) rebuildGuide() {
 	se.guideGroups = groups
 	start, _, heads := se.g.CSROut()
 	allowed := se.cr.allowed
-	for v := int32(n) - 1; v >= 0; v-- {
+	order := se.lv.Order()
+	// Reverse level order: every successor (strictly higher level, hence a
+	// later position) is finalized before v's row reads it.
+	for p := int32(n) - 1; p >= 0; p-- {
+		v := p
+		if order != nil {
+			v = order[p]
+		}
 		row := se.reachOut[int(v)*groups : int(v)*groups+groups]
 		if oi := se.outIdx[v]; oi >= 0 {
 			row[int(oi)>>6] |= 1 << (uint(oi) & 63)
