@@ -162,12 +162,22 @@ func BenchmarkMajorityAccess(b *testing.B) {
 	}
 }
 
-// BenchmarkGreedyConnect measures one connect+disconnect on n=64.
+// BenchmarkGreedyConnect measures one connect+disconnect on n=64. Path
+// pooling is on and a warm-up round primes the pool: without it every
+// Connect allocates its result slice (the historical allocs_op: 1 in
+// BENCH.json), which the gate now keeps at zero.
 func BenchmarkGreedyConnect(b *testing.B) {
 	nw := benchNetwork(b, 3)
 	rt := NewRouter(nw.G)
+	rt.EnablePathReuse()
 	r := rng.New(3)
 	n := len(nw.Inputs())
+	if _, err := rt.Connect(nw.Inputs()[0], nw.Outputs()[0]); err != nil {
+		b.Fatal(err)
+	}
+	if err := rt.Disconnect(nw.Inputs()[0], nw.Outputs()[0]); err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -202,22 +212,20 @@ func BenchmarkConcurrentBatch8(b *testing.B) {
 	}
 }
 
-// benchShardedChurn drives route.ShardedEngine with the operational
-// connect/release churn stream (netsim.Workload) at 50% circuit occupancy
-// and reports operational requests served per second — connect requests
-// plus release requests, the two request kinds of the circuit-switching
-// protocol (netsim's PROBE and RELEASE) — alongside connects/s alone. The
-// engine's decisions are bit-identical to the sequential router's at every
-// shard count (route's differential harness), so this measures pure
-// serving throughput.
-func benchShardedChurn(b *testing.B, nw *Network, shards, batch int) {
-	se := route.NewShardedEngine(nw.G, shards)
+// benchChurn drives any route.Engine with the operational connect/release
+// churn stream (netsim.Workload) at 50% circuit occupancy and reports
+// operational requests served per second — connect requests plus release
+// requests, the two request kinds of the circuit-switching protocol
+// (netsim's PROBE and RELEASE) — alongside connects/s alone. Every engine
+// makes bit-identical decisions on this stream (route's differential
+// harness), so the rows compare pure serving throughput.
+func benchChurn(b *testing.B, nw *Network, eng route.Engine, batch int) {
 	wl := netsim.NewWorkload(nw.Inputs(), nw.Outputs(), 0x5AD)
 	n := len(nw.Inputs())
 	var res []route.Result
 	for wl.Live() < n/2 {
 		reqs := wl.NextConnects(n/2 - wl.Live())
-		res = se.ServeBatch(reqs, res)
+		res = eng.ConnectBatch(reqs, res)
 		wl.CommitResults(res[:len(reqs)])
 	}
 	served := 0
@@ -226,12 +234,12 @@ func benchShardedChurn(b *testing.B, nw *Network, shards, batch int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		reqs := wl.NextConnects(batch)
-		res = se.ServeBatch(reqs, res)
+		res = eng.ConnectBatch(reqs, res)
 		connects += len(reqs)
 		wl.CommitResults(res[:len(reqs)])
 		k := len(reqs)
 		for _, rel := range wl.NextReleases(k) {
-			if err := se.Disconnect(rel.In, rel.Out); err != nil {
+			if err := eng.Disconnect(rel.In, rel.Out); err != nil {
 				b.Fatal(err)
 			}
 			served++
@@ -242,6 +250,10 @@ func benchShardedChurn(b *testing.B, nw *Network, shards, batch int) {
 	el := b.Elapsed().Seconds()
 	b.ReportMetric(float64(served)/el, "req/s")
 	b.ReportMetric(float64(connects)/el, "connect/s")
+}
+
+func benchShardedChurn(b *testing.B, nw *Network, shards, batch int) {
+	benchChurn(b, nw, route.NewShardedEngine(nw.G, shards), batch)
 }
 
 // BenchmarkShardedChurn sweeps shard counts on the n=16 operational
@@ -267,6 +279,29 @@ func BenchmarkShardedChurnN64(b *testing.B) {
 	nw := benchNetwork(b, 3)
 	n := len(nw.Inputs())
 	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchShardedChurn(b, nw, shards, n/2)
+		})
+	}
+}
+
+// BenchmarkShardedChurnParallel is the multi-core scale-out measurement:
+// n=256 churn at 50% occupancy with 128-connect batches — large enough
+// that every shard count ≤8 clears the persistent-worker fan-out
+// threshold, so phase A speculates and the conflict-free commit prefix
+// lands on real cores (run with -cpu=4,8; at -cpu=1 the same rows measure
+// the handoff overhead). The "router" row is the sequential Router driven
+// through the same Engine seam — the denominator of the tentpole's ≥3×
+// req/s target at shards=8 on 8 cores.
+func BenchmarkShardedChurnParallel(b *testing.B) {
+	nw := benchNetwork(b, 4)
+	n := len(nw.Inputs())
+	b.Run("router", func(b *testing.B) {
+		rt := route.NewRouter(nw.G)
+		rt.EnablePathReuse()
+		benchChurn(b, nw, rt, n/2)
+	})
+	for _, shards := range []int{1, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			benchShardedChurn(b, nw, shards, n/2)
 		})

@@ -4,7 +4,8 @@
 //
 // Emit a baseline (reads bench output on stdin):
 //
-//	go test -run=NONE -bench '...' -count=6 -benchmem . > bench.out
+//	go test -run=NONE -bench '...' -count=6 -benchmem -cpu=1 . > bench.out
+//	go test -run=NONE -bench '...' -count=6 -benchmem -cpu=4,8 . >> bench.out
 //	benchdiff -emit -commit "$(git rev-parse --short HEAD)" < bench.out > BENCH.json
 //
 // Gate against a committed baseline (reads current bench output on stdin,
@@ -12,13 +13,24 @@
 //
 //	benchdiff -baseline BENCH.json -threshold 0.15 < bench.out
 //
-// Every benchmark recorded in the baseline is gated: a missing benchmark,
-// an ns/op regression beyond the threshold, or any allocs/op increase
-// fails the run. Repeated -count runs are folded by minimum (ns/op,
-// allocs/op — the least-noise estimator for regression gating) and maximum
-// for throughput metrics. The baseline records the Go version and commit
-// it was measured at; refresh it with `make bench-baseline` when the
-// benchmark set or the reference hardware changes.
+// Benchmarks are keyed per cpu count: Go suffixes benchmark names with
+// `-N` when run at GOMAXPROCS=N≠1 (`-cpu=4` turns BenchmarkFoo into
+// BenchmarkFoo-4), and benchdiff folds each (name, cpu) pair separately,
+// so one baseline carries single-core and multi-core numbers side by
+// side. Every (name, cpu) recorded in the baseline is gated: a missing
+// measurement or an ns/op regression beyond the threshold fails the run
+// at every cpu count; the allocs/op can't-increase gate applies at cpu=1
+// only (parallel runs schedule-jitter their steady-state allocation
+// counts, single-core runs don't). Repeated -count runs are folded by
+// minimum (ns/op, allocs/op — the least-noise estimator for regression
+// gating) and maximum for throughput metrics.
+//
+// The baseline records the Go version and commit it was measured at; both
+// fields are mandatory (a baseline without provenance is unverifiable and
+// the gate refuses it), and a baseline in the pre-per-cpu flat schema is
+// rejected loudly — refresh with `make bench-baseline`. When the baseline
+// commit is not an ancestor of HEAD the gate warns: the numbers were
+// measured on a tree this branch does not contain.
 package main
 
 import (
@@ -26,7 +38,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
 	"regexp"
 	"runtime"
 	"sort"
@@ -34,7 +48,7 @@ import (
 	"strings"
 )
 
-// Entry is one benchmark's folded measurements.
+// Entry is one (benchmark, cpu count)'s folded measurements.
 type Entry struct {
 	NsOp     float64 `json:"ns_op"`
 	AllocsOp float64 `json:"allocs_op"`
@@ -43,20 +57,28 @@ type Entry struct {
 	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
+// Bench is one benchmark's measurements across cpu counts, keyed by the
+// decimal GOMAXPROCS the run used ("1", "4", ...).
+type Bench struct {
+	Cpus map[string]Entry `json:"cpus"`
+}
+
 // Baseline is the committed BENCH.json schema.
 type Baseline struct {
 	Go         string           `json:"go"`
 	Commit     string           `json:"commit"`
-	Benchmarks map[string]Entry `json:"benchmarks"`
+	Benchmarks map[string]Bench `json:"benchmarks"`
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+\d+\s+(.*)$`)
+// benchLine splits a result line into name, optional cpu suffix, and the
+// measurement fields. Go appends `-N` to the name only when the benchmark
+// ran at GOMAXPROCS=N≠1, so a bare name means cpu=1.
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-(\d+))?\s+\d+\s+(.*)$`)
 
-// parse folds bench output into per-benchmark entries (min ns/op and
-// allocs/op, max custom metrics across repeated counts).
-func parse(r *os.File) (map[string]Entry, error) {
-	out := map[string]Entry{}
-	seen := map[string]bool{}
+// parse folds bench output into per-(benchmark, cpu) entries: min ns/op
+// and allocs/op, max custom metrics across repeated counts.
+func parse(r io.Reader) (map[string]Bench, error) {
+	out := map[string]Bench{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -64,8 +86,11 @@ func parse(r *os.File) (map[string]Entry, error) {
 		if m == nil {
 			continue
 		}
-		name := m[1]
-		fields := strings.Fields(m[2])
+		name, cpu := m[1], m[2]
+		if cpu == "" {
+			cpu = "1"
+		}
+		fields := strings.Fields(m[3])
 		e := Entry{NsOp: -1, AllocsOp: -1}
 		for i := 0; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
@@ -89,12 +114,16 @@ func parse(r *os.File) (map[string]Entry, error) {
 		if e.NsOp < 0 {
 			continue
 		}
-		if !seen[name] {
-			seen[name] = true
-			out[name] = e
+		b, ok := out[name]
+		if !ok {
+			b = Bench{Cpus: map[string]Entry{}}
+			out[name] = b
+		}
+		prev, ok := b.Cpus[cpu]
+		if !ok {
+			b.Cpus[cpu] = e
 			continue
 		}
-		prev := out[name]
 		if e.NsOp < prev.NsOp {
 			prev.NsOp = e.NsOp
 		}
@@ -109,9 +138,119 @@ func parse(r *os.File) (map[string]Entry, error) {
 				prev.Extra[k] = v
 			}
 		}
-		out[name] = prev
+		b.Cpus[cpu] = prev
 	}
 	return out, sc.Err()
+}
+
+// validate rejects baselines the gate cannot vouch for: missing
+// provenance fields, and the pre-per-cpu flat schema (whose entries
+// decode to a nil Cpus map — failing loudly here is the compatibility
+// contract, a flat baseline must never gate silently as "no benchmarks").
+func validate(base Baseline, path string) error {
+	if base.Go == "" {
+		return fmt.Errorf("benchdiff: %s: missing \"go\" field; regenerate with `make bench-baseline`", path)
+	}
+	if base.Commit == "" {
+		return fmt.Errorf("benchdiff: %s: missing \"commit\" field; regenerate with `make bench-baseline`", path)
+	}
+	if len(base.Benchmarks) == 0 {
+		return fmt.Errorf("benchdiff: %s: no benchmarks in baseline", path)
+	}
+	for name, b := range base.Benchmarks {
+		if len(b.Cpus) == 0 {
+			return fmt.Errorf("benchdiff: %s: %s has no \"cpus\" map — pre-per-cpu baseline schema; regenerate with `make bench-baseline`", path, name)
+		}
+	}
+	return nil
+}
+
+// sortedCpus returns the cpu keys in numeric order ("1" before "10").
+func sortedCpus(m map[string]Entry) []string {
+	cpus := make([]string, 0, len(m))
+	for c := range m {
+		cpus = append(cpus, c)
+	}
+	sort.Slice(cpus, func(i, j int) bool {
+		a, _ := strconv.Atoi(cpus[i])
+		b, _ := strconv.Atoi(cpus[j])
+		return a != b && a < b || a == b && cpus[i] < cpus[j]
+	})
+	return cpus
+}
+
+// gate compares the current measurements against the baseline, printing a
+// line per gated (benchmark, cpu) and returning false on any regression:
+// missing measurement, ns/op beyond threshold (every cpu), or an
+// allocs/op increase (cpu=1 only).
+func gate(base Baseline, cur map[string]Bench, threshold float64, w io.Writer) bool {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ok := true
+	fail := func(format string, args ...any) {
+		ok = false
+		fmt.Fprintf(w, "FAIL  "+format+"\n", args...)
+	}
+	for _, name := range names {
+		for _, cpu := range sortedCpus(base.Benchmarks[name].Cpus) {
+			b := base.Benchmarks[name].Cpus[cpu]
+			tag := fmt.Sprintf("%s (cpu=%s)", name, cpu)
+			c, found := cur[name].Cpus[cpu]
+			if !found {
+				fail("%s: gated benchmark missing from current run", tag)
+				continue
+			}
+			ratio := c.NsOp / b.NsOp
+			switch {
+			case ratio > 1+threshold:
+				fail("%s: ns/op %.0f -> %.0f (%+.1f%%, threshold %.0f%%)",
+					tag, b.NsOp, c.NsOp, (ratio-1)*100, threshold*100)
+			case cpu == "1" && c.AllocsOp > b.AllocsOp && b.AllocsOp >= 0:
+				fail("%s: allocs/op %.0f -> %.0f", tag, b.AllocsOp, c.AllocsOp)
+			default:
+				fmt.Fprintf(w, "ok    %s: ns/op %.0f -> %.0f (%+.1f%%), allocs/op %.0f\n",
+					tag, b.NsOp, c.NsOp, (ratio-1)*100, c.AllocsOp)
+			}
+		}
+	}
+	// Surface baseline drift: measurements taken now but absent from the
+	// committed baseline are NOT gated until `make bench-baseline` records
+	// them.
+	var ungated []string
+	for name, b := range cur {
+		for _, cpu := range sortedCpus(b.Cpus) {
+			if _, found := base.Benchmarks[name].Cpus[cpu]; !found {
+				ungated = append(ungated, fmt.Sprintf("%s (cpu=%s)", name, cpu))
+			}
+		}
+	}
+	sort.Strings(ungated)
+	for _, tag := range ungated {
+		fmt.Fprintf(w, "warn  %s: not in baseline — ungated until the baseline is refreshed\n", tag)
+	}
+	return ok
+}
+
+// checkAncestry warns when the baseline commit is not an ancestor of HEAD
+// — the recorded numbers were measured on a tree this branch does not
+// contain, so the comparison's provenance is broken (stale or foreign
+// baseline). A definitive "not an ancestor" answer from git (exit 1) is a
+// loud warning; any other git failure (shallow CI clone, unknown ref,
+// no git at all) is a quiet note, since it proves nothing either way.
+func checkAncestry(commit string, w io.Writer) {
+	cmd := exec.Command("git", "merge-base", "--is-ancestor", commit, "HEAD")
+	err := cmd.Run()
+	if err == nil {
+		return
+	}
+	if ee, ok := err.(*exec.ExitError); ok && ee.ExitCode() == 1 {
+		fmt.Fprintf(w, "warn  baseline commit %s is not an ancestor of HEAD — baseline measured on a foreign or rewritten tree; refresh with `make bench-baseline`\n", commit)
+		return
+	}
+	fmt.Fprintf(w, "note  could not verify baseline commit %s against HEAD (%v)\n", commit, err)
 }
 
 func main() {
@@ -151,53 +290,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", *baselinePath, err)
 			os.Exit(2)
 		}
+		if err := validate(base, *baselinePath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 		if base.Go != runtime.Version() {
 			fmt.Fprintf(os.Stderr, "benchdiff: note: baseline measured on %s (commit %s), running %s\n",
 				base.Go, base.Commit, runtime.Version())
 		}
-		names := make([]string, 0, len(base.Benchmarks))
-		for name := range base.Benchmarks {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		failed := false
-		fail := func(format string, args ...any) {
-			failed = true
-			fmt.Printf("FAIL  "+format+"\n", args...)
-		}
-		for _, name := range names {
-			b := base.Benchmarks[name]
-			c, ok := cur[name]
-			if !ok {
-				fail("%s: gated benchmark missing from current run", name)
-				continue
-			}
-			ratio := c.NsOp / b.NsOp
-			switch {
-			case ratio > 1+*threshold:
-				fail("%s: ns/op %.0f -> %.0f (%+.1f%%, threshold %.0f%%)",
-					name, b.NsOp, c.NsOp, (ratio-1)*100, *threshold*100)
-			case c.AllocsOp > b.AllocsOp && b.AllocsOp >= 0:
-				fail("%s: allocs/op %.0f -> %.0f", name, b.AllocsOp, c.AllocsOp)
-			default:
-				fmt.Printf("ok    %s: ns/op %.0f -> %.0f (%+.1f%%), allocs/op %.0f\n",
-					name, b.NsOp, c.NsOp, (ratio-1)*100, c.AllocsOp)
-			}
-		}
-		// Surface baseline drift: benchmarks measured now but absent from
-		// the committed baseline are NOT gated until `make bench-baseline`
-		// records them.
-		var ungated []string
-		for name := range cur {
-			if _, ok := base.Benchmarks[name]; !ok {
-				ungated = append(ungated, name)
-			}
-		}
-		sort.Strings(ungated)
-		for _, name := range ungated {
-			fmt.Printf("warn  %s: not in baseline — ungated until the baseline is refreshed\n", name)
-		}
-		if failed {
+		checkAncestry(base.Commit, os.Stdout)
+		if !gate(base, cur, *threshold, os.Stdout) {
 			fmt.Println("benchdiff: benchmark regression gate FAILED")
 			os.Exit(1)
 		}

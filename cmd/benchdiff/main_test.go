@@ -1,0 +1,125 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOut = `goos: linux
+goarch: amd64
+BenchmarkGreedyConnect 	   79482	     15238 ns/op	       0 B/op	       0 allocs/op
+BenchmarkGreedyConnect 	   80000	     15100 ns/op	       0 B/op	       0 allocs/op
+BenchmarkShardedChurn/shards=8 	  165000	      7186 ns/op	   2226552 req/s	       0 allocs/op
+BenchmarkShardedChurn/shards=8-4 	  300000	      3900 ns/op	   4100000 req/s	       0 allocs/op
+BenchmarkShardedChurn/shards=8-4 	  310000	      3800 ns/op	   4000000 req/s	       0 allocs/op
+PASS
+`
+
+func TestParsePerCpu(t *testing.T) {
+	got, err := parse(strings.NewReader(sampleOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc, ok := got["BenchmarkGreedyConnect"]
+	if !ok || len(gc.Cpus) != 1 {
+		t.Fatalf("GreedyConnect: want 1 cpu entry, got %+v", gc)
+	}
+	if e := gc.Cpus["1"]; e.NsOp != 15100 || e.AllocsOp != 0 {
+		t.Errorf("GreedyConnect cpu=1: want min-folded ns_op=15100 allocs=0, got %+v", e)
+	}
+	sc, ok := got["BenchmarkShardedChurn/shards=8"]
+	if !ok || len(sc.Cpus) != 2 {
+		t.Fatalf("ShardedChurn: want cpu entries {1,4}, got %+v", sc)
+	}
+	if e := sc.Cpus["1"]; e.NsOp != 7186 || e.Extra["req/s"] != 2226552 {
+		t.Errorf("ShardedChurn cpu=1: got %+v", e)
+	}
+	if e := sc.Cpus["4"]; e.NsOp != 3800 || e.Extra["req/s"] != 4100000 {
+		t.Errorf("ShardedChurn cpu=4: want min ns_op=3800, max req/s=4100000, got %+v", e)
+	}
+}
+
+func bench(cpus map[string]Entry) Bench { return Bench{Cpus: cpus} }
+
+func TestValidateRejectsFlatAndMissingProvenance(t *testing.T) {
+	good := Baseline{Go: "go1.24.0", Commit: "abc1234",
+		Benchmarks: map[string]Bench{"BenchmarkX": bench(map[string]Entry{"1": {NsOp: 10}})}}
+	if err := validate(good, "BENCH.json"); err != nil {
+		t.Errorf("valid baseline rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		b    Baseline
+		want string
+	}{
+		{"missing go", Baseline{Commit: "abc", Benchmarks: good.Benchmarks}, `"go"`},
+		{"missing commit", Baseline{Go: "go1.24.0", Benchmarks: good.Benchmarks}, `"commit"`},
+		{"empty", Baseline{Go: "go1.24.0", Commit: "abc"}, "no benchmarks"},
+		// The pre-per-cpu flat schema decodes to entries with a nil Cpus
+		// map; it must be refused loudly, never gated as an empty set.
+		{"flat schema", Baseline{Go: "go1.24.0", Commit: "abc",
+			Benchmarks: map[string]Bench{"BenchmarkX": {}}}, "pre-per-cpu"},
+	}
+	for _, tc := range cases {
+		err := validate(tc.b, "BENCH.json")
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: want error containing %q, got %v", tc.name, tc.want, err)
+		}
+	}
+}
+
+func TestGatePerCpu(t *testing.T) {
+	base := Baseline{Go: "go1.24.0", Commit: "abc1234", Benchmarks: map[string]Bench{
+		"BenchmarkX": bench(map[string]Entry{
+			"1": {NsOp: 1000, AllocsOp: 0},
+			"4": {NsOp: 400, AllocsOp: 0},
+		}),
+	}}
+
+	run := func(cur map[string]Bench) (bool, string) {
+		var sb strings.Builder
+		ok := gate(base, cur, 0.15, &sb)
+		return ok, sb.String()
+	}
+
+	if ok, out := run(map[string]Bench{"BenchmarkX": bench(map[string]Entry{
+		"1": {NsOp: 1050, AllocsOp: 0}, "4": {NsOp: 420, AllocsOp: 0},
+	})}); !ok {
+		t.Errorf("within threshold at both cpus should pass:\n%s", out)
+	}
+
+	// ns/op gates apply at every cpu count.
+	if ok, out := run(map[string]Bench{"BenchmarkX": bench(map[string]Entry{
+		"1": {NsOp: 1050, AllocsOp: 0}, "4": {NsOp: 600, AllocsOp: 0},
+	})}); ok || !strings.Contains(out, "cpu=4") {
+		t.Errorf("cpu=4 regression should fail naming the cpu:\n%s", out)
+	}
+
+	// The allocs/op gate is pinned to cpu=1: parallel schedules jitter
+	// allocation counts, single-core runs must stay exact.
+	if ok, out := run(map[string]Bench{"BenchmarkX": bench(map[string]Entry{
+		"1": {NsOp: 1000, AllocsOp: 0}, "4": {NsOp: 400, AllocsOp: 2},
+	})}); !ok {
+		t.Errorf("alloc increase at cpu=4 must not gate:\n%s", out)
+	}
+	if ok, out := run(map[string]Bench{"BenchmarkX": bench(map[string]Entry{
+		"1": {NsOp: 1000, AllocsOp: 1}, "4": {NsOp: 400, AllocsOp: 0},
+	})}); ok || !strings.Contains(out, "allocs/op") {
+		t.Errorf("alloc increase at cpu=1 must fail:\n%s", out)
+	}
+
+	// A cpu count recorded in the baseline but absent from the run fails.
+	if ok, out := run(map[string]Bench{"BenchmarkX": bench(map[string]Entry{
+		"1": {NsOp: 1000, AllocsOp: 0},
+	})}); ok || !strings.Contains(out, "missing") {
+		t.Errorf("missing cpu=4 measurement must fail:\n%s", out)
+	}
+
+	// Extra measurements only warn until the baseline records them.
+	if ok, out := run(map[string]Bench{
+		"BenchmarkX": bench(map[string]Entry{"1": {NsOp: 1000, AllocsOp: 0}, "4": {NsOp: 400, AllocsOp: 0}}),
+		"BenchmarkY": bench(map[string]Entry{"8": {NsOp: 50, AllocsOp: 0}}),
+	}); !ok || !strings.Contains(out, "warn  BenchmarkY (cpu=8)") {
+		t.Errorf("unknown benchmark should warn, not gate:\n%s", out)
+	}
+}

@@ -39,6 +39,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "root seed")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	flag.Parse()
+	if *workers < 0 {
+		die(fmt.Errorf("-workers must be >= 0, got %d", *workers))
+	}
 
 	var epss []float64
 	for _, s := range strings.Split(*epsList, ",") {

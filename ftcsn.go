@@ -166,13 +166,16 @@ func NewRouter(g *Graph) *Router { return route.NewRouter(g) }
 func NewRepairedRouter(inst *FaultInstance) *Router { return route.NewRepairedRouter(inst) }
 
 // NewShardedEngine returns a sharded batch-routing engine over the
-// fault-free network with the given shard count.
+// fault-free network with the given shard count; panics if shards <= 0.
+// Engines with more than one shard lazily start persistent worker
+// goroutines on the first large batch; Close stops them (a finalizer
+// backstops engines that are simply dropped).
 func NewShardedEngine(g *Graph, shards int) *ShardedEngine {
 	return route.NewShardedEngine(g, shards)
 }
 
 // NewRepairedShardedEngine is NewShardedEngine over the network repaired
-// from inst by the paper's discard rule.
+// from inst by the paper's discard rule. Panics if shards <= 0.
 func NewRepairedShardedEngine(inst *FaultInstance, shards int) *ShardedEngine {
 	return route.NewRepairedShardedEngine(inst, shards)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"ftcsn/internal/fault"
@@ -22,6 +23,7 @@ import (
 // outcomes, across the structural families, fault rates spanning "no
 // failures" to "frequent rejects", and shard counts.
 func TestDifferentialShardedChurnVsPerOp(t *testing.T) {
+	pinProcs(t, 4)
 	const (
 		trials   = 30
 		churnOps = 80
@@ -133,6 +135,7 @@ func TestEvaluatorShardedChurnAllocFree(t *testing.T) {
 // ops, shards, prefilter) tuples must keep the batch-shaped churn driver
 // bit-identical to the per-op reference through the full trial pipeline.
 func FuzzBatchChurnVsPerOp(f *testing.F) {
+	pinProcs(f, 4)
 	f.Add(uint64(1), uint16(0), uint8(40), uint8(1), uint8(0))
 	f.Add(uint64(2), uint16(800), uint8(90), uint8(2), uint8(1))
 	f.Add(uint64(99), uint16(2500), uint8(255), uint8(3), uint8(2))
@@ -171,4 +174,12 @@ func buildNetwork(tb testing.TB, p Params) *Network {
 		tb.Fatal(err)
 	}
 	return nw
+}
+
+// pinProcs forces GOMAXPROCS=n for the test, so the sharded engine's
+// parallel phases genuinely interleave even when the package-default
+// GOMAXPROCS is 1 (busy CI runner, constrained container).
+func pinProcs(tb testing.TB, n int) {
+	old := runtime.GOMAXPROCS(n)
+	tb.Cleanup(func() { runtime.GOMAXPROCS(old) })
 }

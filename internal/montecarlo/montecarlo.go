@@ -12,6 +12,7 @@
 package montecarlo
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -20,12 +21,15 @@ import (
 	"ftcsn/internal/stats"
 )
 
-// Config controls a Monte-Carlo run.
+// Config controls a Monte-Carlo run. Workers and Block are defaulted only
+// on exactly 0; negative values panic at run start — a negative count is
+// always a caller bug (a subtraction gone wrong, an unvalidated flag), and
+// silently mapping it to "all cores" would mask it.
 type Config struct {
 	Trials  int
-	Workers int    // 0 = GOMAXPROCS
+	Workers int    // 0 = GOMAXPROCS; < 0 panics
 	Seed    uint64 // root seed; trial i uses rng.Stream(Seed, i)
-	Block   int    // trials per scheduling block; 0 = DefaultBlock
+	Block   int    // trials per scheduling block; 0 = DefaultBlock; < 0 panics
 }
 
 // DefaultBlock is the default scheduling block size. Blocks only set the
@@ -35,6 +39,9 @@ type Config struct {
 const DefaultBlock = 32
 
 func (c Config) workers() int {
+	if c.Workers < 0 {
+		panic(fmt.Sprintf("montecarlo: Config.Workers must be >= 0, got %d", c.Workers))
+	}
 	if c.Workers > 0 {
 		return c.Workers
 	}
@@ -42,6 +49,9 @@ func (c Config) workers() int {
 }
 
 func (c Config) block() int {
+	if c.Block < 0 {
+		panic(fmt.Sprintf("montecarlo: Config.Block must be >= 0, got %d", c.Block))
+	}
 	if c.Block > 0 {
 		return c.Block
 	}

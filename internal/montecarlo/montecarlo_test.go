@@ -75,3 +75,26 @@ func TestDefaultWorkers(t *testing.T) {
 		t.Fatalf("successes = %d", p.Successes)
 	}
 }
+
+// TestNegativeConfigPanics locks the validation contract: negative
+// Workers or Block is a caller bug and must panic instead of silently
+// defaulting to "all cores" / the default block size.
+func TestNegativeConfigPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"workers", Config{Trials: 4, Workers: -1}},
+		{"block", Config{Trials: 4, Block: -2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Config %+v did not panic", tc.cfg)
+				}
+			}()
+			RunBool(tc.cfg, func(*rng.RNG) bool { return true })
+		})
+	}
+}

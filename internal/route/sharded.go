@@ -13,11 +13,15 @@ package route
 //     Router.Connect. Shards share the read-mostly CSR-slot traversal bytes
 //     (SetMasksShared) and the per-epoch output-reachability guide; each
 //     owns its probe scratch — the per-worker state pattern of
-//     montecarlo.BlockStarter scratches. A word-parallel prefilter
-//     (feasibility.go) can answer "which of these ≤64 pending requests have
-//     any idle path right now" in one lane sweep before any probing runs.
+//     montecarlo.BlockStarter scratches. Batches big enough to pay for the
+//     handoff run on persistent worker goroutines parked on the engine's
+//     task channel (one per shard beyond the caller's), so fanning a batch
+//     out costs a channel wake, not a goroutine spawn. A word-parallel
+//     prefilter (feasibility.go) can answer "which of these ≤64 pending
+//     requests have any idle path right now" in one lane sweep before any
+//     probing runs.
 //
-//   - Phase B (ordered commit): requests commit in input order through the
+//   - Phase B (commit): requests commit in input order through the
 //     ConcurrentRouter's CAS claim protocol. A speculative path whose probe
 //     never touched a vertex claimed earlier in the batch is provably the
 //     exact path the sequential Router would have found (the probe's step
@@ -27,6 +31,19 @@ package route
 //     exactly the sequential Router's view at that request's turn. The
 //     shard partition is therefore a performance heuristic only;
 //     correctness never depends on it.
+//
+//     On batches that ran phase A in parallel, the commit phase itself is
+//     parallelized by claim-disjointness detection (see commitDisjoint):
+//     one pass stamps every speculative path with its owning request, a
+//     parallel sweep then proves, per request, that its probe trace is
+//     untouched by any earlier request's speculative path — such traces
+//     are exactly the requests the ordered walk would fast-path — and the
+//     maximal conflict-free prefix commits on the workers with no ordering
+//     at all (the accepted paths are pairwise disjoint, so the claim
+//     stores commute). Only the residue from the first conflicted request
+//     onward takes the ordered CAS walk. Decisions and paths are
+//     bit-identical to the ordered walk — and hence to the sequential
+//     Router — by construction; see the proof at commitDisjoint.
 //
 // Within a batch only connects happen, so the claimed-vertex set grows
 // monotonically: a request with no idle path at the batch-start snapshot
@@ -40,6 +57,7 @@ package route
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"ftcsn/internal/fault"
@@ -91,6 +109,14 @@ type ShardedStats struct {
 
 	// PrefilterSweeps counts lane sweeps run (≤64 lanes each).
 	PrefilterSweeps int64
+
+	// ParallelBatches counts batches whose phases ran on the persistent
+	// worker goroutines (batch large enough for the handoff to pay);
+	// DisjointCommits counts fast-path circuits committed by the
+	// conflict-free parallel commit rather than the ordered walk. Both are
+	// scheduling observability only — decisions and paths never depend on
+	// which path served a batch.
+	ParallelBatches, DisjointCommits int64
 
 	// Adaptive-policy transitions: a shard's observed reject share crossed
 	// the engage threshold (Engages) or fell back under it (Disengages).
@@ -180,6 +206,23 @@ type ShardedEngine struct {
 	batchEpoch uint32
 	commitSc   probeScratch
 
+	// disjoint-commit state (commitDisjoint): specStamp/specOwner record,
+	// per vertex, the smallest request index whose speculative path covers
+	// it this batch (epoch-stamped with batchEpoch); valid holds the
+	// parallel sweep's per-request verdicts; commitDst the pooled
+	// destination slices handed to the parallel copy pass.
+	specStamp []uint32
+	specOwner []uint32
+	valid     []uint8
+	commitDst [][]int32
+
+	// Persistent phase workers: len(shards)-1 goroutines parked on workCh
+	// (started lazily by the first batch big enough to fan out, stopped by
+	// Close or, as a backstop, by a finalizer once the engine is
+	// unreachable — workers hold only the channel, never the engine, so an
+	// abandoned engine stays collectable).
+	workCh chan workerTask
+
 	// committed circuits: the engines' shared per-input registry (one live
 	// circuit per input terminal — an input is claimed while connected, so
 	// a second circuit cannot coexist).
@@ -218,20 +261,23 @@ const maxGuideGroups = 8
 const parallelMinPerShard = 8
 
 // NewShardedEngine returns an engine over the fault-free network g with the
-// given shard count (clamped to ≥1).
+// given shard count. It panics if shards <= 0: a non-positive count is
+// always a caller bug (an uninitialized or negated config value), and
+// silently clamping it to 1 would masquerade as "run sequentially".
 func NewShardedEngine(g *graph.Graph, shards int) *ShardedEngine {
 	return newShardedEngine(g, NewConcurrentRouter(g), shards)
 }
 
 // NewRepairedShardedEngine returns an engine over the network repaired from
-// inst by the paper's discard rule.
+// inst by the paper's discard rule. Panics if shards <= 0 (see
+// NewShardedEngine).
 func NewRepairedShardedEngine(inst *fault.Instance, shards int) *ShardedEngine {
 	return newShardedEngine(inst.G, NewConcurrentRepairedRouter(inst), shards)
 }
 
 func newShardedEngine(g *graph.Graph, cr *ConcurrentRouter, shards int) *ShardedEngine {
-	if shards < 1 {
-		shards = 1
+	if shards <= 0 {
+		panic(fmt.Sprintf("route: shard count must be >= 1, got %d", shards))
 	}
 	n := g.NumVertices()
 	se := &ShardedEngine{
@@ -239,6 +285,8 @@ func newShardedEngine(g *graph.Graph, cr *ConcurrentRouter, shards int) *Sharded
 		cr:        cr,
 		shards:    make([]*shard, shards),
 		batchMark: make([]uint32, n),
+		specStamp: make([]uint32, n),
+		specOwner: make([]uint32, n),
 		outIdx:    make([]int32, n),
 	}
 	se.circ.init(n)
@@ -264,6 +312,116 @@ func (se *ShardedEngine) newProbeScratch() probeScratch {
 		prevEdge:  make([]int32, n),
 		stack:     make([]int32, 0, 256),
 	}
+}
+
+// workerTask is one unit of handed-off work: a phase-A speculation pass
+// (sh != nil) or a range of a commit sub-phase (kind + [lo,hi)). Tasks are
+// sent by value on a buffered channel, so fanning a batch out performs no
+// allocation — the struct is copied into the channel's ring buffer.
+type workerTask struct {
+	se   *ShardedEngine
+	sh   *shard // non-nil: phase-A speculation for this shard
+	kind uint8  // taskValidate or taskCommit when sh == nil
+	lo   int
+	hi   int
+	reqs []Request
+	res  []Result
+	wg   *sync.WaitGroup
+}
+
+// commit sub-phase kinds dispatched through runRange.
+const (
+	taskValidate uint8 = iota
+	taskCommit
+)
+
+// shardedWorker is the persistent worker loop: park on the task channel,
+// run whatever arrives, signal the batch's WaitGroup, park again. The loop
+// references ONLY the channel — never the engine — so an abandoned engine
+// stays garbage-collectable and its finalizer can shut the workers down.
+// (The task-local engine pointer is dead once the iteration's last use
+// passes; Go's precise stack maps keep a parked worker from pinning it.)
+func shardedWorker(ch <-chan workerTask) {
+	for t := range ch {
+		if t.sh != nil {
+			t.sh.speculate(t.se, t.reqs)
+		} else {
+			t.se.runRange(t.kind, t.reqs, t.res, t.lo, t.hi)
+		}
+		t.wg.Done()
+	}
+}
+
+// ensureWorkers lazily starts the persistent phase workers (S-1 of them:
+// the caller's goroutine always runs a share itself). Buffered to S so the
+// fan-out loop never blocks on a send. The finalizer is a leak backstop
+// only — an engine dropped without Close still stops its workers once the
+// GC proves it unreachable (possible precisely because workers do not hold
+// the engine); callers that care about prompt shutdown call Close.
+func (se *ShardedEngine) ensureWorkers() {
+	if se.workCh != nil {
+		return
+	}
+	se.workCh = make(chan workerTask, len(se.shards))
+	for i := 1; i < len(se.shards); i++ {
+		go shardedWorker(se.workCh)
+	}
+	runtime.SetFinalizer(se, (*ShardedEngine).Close)
+}
+
+// Close stops the persistent phase workers, if any are running. It is
+// idempotent, safe on engines that never started workers, and does NOT
+// retire the engine: the next sufficiently large batch restarts them. Must
+// not be called concurrently with ServeBatch (the usual single-caller
+// contract).
+func (se *ShardedEngine) Close() {
+	if se.workCh != nil {
+		close(se.workCh)
+		se.workCh = nil
+	}
+	runtime.SetFinalizer(se, nil)
+}
+
+// runRange dispatches one commit sub-phase over requests [lo,hi). A plain
+// method call behind a constant switch — method-value closures would
+// allocate per fan-out.
+func (se *ShardedEngine) runRange(kind uint8, reqs []Request, res []Result, lo, hi int) {
+	switch kind {
+	case taskValidate:
+		se.validateRange(lo, hi)
+	case taskCommit:
+		se.commitRange(reqs, res, lo, hi)
+	}
+}
+
+// fanOut runs kind over [0,n) split into contiguous per-shard chunks:
+// chunk 0 on the caller, the rest on the persistent workers. Below the
+// parallel threshold it degrades to one inline call — results are
+// identical either way (the ranges are data-disjoint by construction; see
+// commitDisjoint).
+func (se *ShardedEngine) fanOut(kind uint8, reqs []Request, res []Result, n int) {
+	if n == 0 {
+		return
+	}
+	S := len(se.shards)
+	if S == 1 || n < parallelMinPerShard*S || se.workCh == nil {
+		se.runRange(kind, reqs, res, 0, n)
+		return
+	}
+	chunk := (n + S - 1) / S
+	for s := 1; s < S; s++ {
+		lo := s * chunk
+		if lo >= n {
+			break
+		}
+		se.wg.Add(1)
+		se.workCh <- workerTask{
+			se: se, kind: kind, lo: lo, hi: min(lo+chunk, n),
+			reqs: reqs, res: res, wg: &se.wg,
+		}
+	}
+	se.runRange(kind, reqs, res, 0, min(chunk, n))
+	se.wg.Wait()
 }
 
 // Shards returns the shard count.
@@ -380,17 +538,19 @@ func (se *ShardedEngine) ServeBatch(reqs []Request, res []Result) []Result {
 	se.spec = growSpec(se.spec, len(reqs))
 	se.flags = growFlags(se.flags, len(reqs))
 
-	// Phase A: lock-free speculation against the batch-start snapshot. The
-	// goroutine body is a capture-free literal (everything arrives as
-	// arguments) so spawning stays allocation-free. Each shard decides its
-	// own sweep from its adaptive state (see PrefilterAuto).
-	if S > 1 && len(reqs) >= parallelMinPerShard*S {
+	// Phase A: lock-free speculation against the batch-start snapshot.
+	// Batches big enough to pay for the handoff wake the persistent
+	// workers (one task per shard beyond the caller's own); everything a
+	// worker needs travels in the task struct, so the fan-out performs no
+	// allocation. Each shard decides its own sweep from its adaptive state
+	// (see PrefilterAuto).
+	parallel := S > 1 && len(reqs) >= parallelMinPerShard*S
+	if parallel {
+		se.ensureWorkers()
+		se.stats.ParallelBatches++
 		se.wg.Add(S - 1)
 		for s := 1; s < S; s++ {
-			go func(wg *sync.WaitGroup, sh *shard, se *ShardedEngine, reqs []Request) {
-				defer wg.Done()
-				sh.speculate(se, reqs)
-			}(&se.wg, se.shards[s], se, reqs)
+			se.workCh <- workerTask{se: se, sh: se.shards[s], reqs: reqs, wg: &se.wg}
 		}
 		se.shards[0].speculate(se, reqs)
 		se.wg.Wait()
@@ -407,10 +567,52 @@ func (se *ShardedEngine) ServeBatch(reqs []Request, res []Result) []Result {
 		sh.endpointRejects, sh.prefilterRejects, sh.probeRejects, sh.sweeps = 0, 0, 0, 0
 	}
 
-	// Phase B: ordered commit through the CAS claim protocol.
+	// Phase B: commit with sequential-walk semantics. On parallel batches
+	// the maximal conflict-free prefix commits on the workers without
+	// ordering (commitDisjoint proves which requests the ordered walk
+	// would fast-path anyway); the residue — and every serial batch —
+	// takes the ordered CAS walk.
 	se.bumpBatchEpoch()
 	se.commitSc.arena = se.commitSc.arena[:0]
-	for i := range reqs {
+	first := 0
+	if parallel {
+		first = se.commitDisjoint(reqs, res)
+	}
+	se.commitOrdered(reqs, res, first)
+
+	// Adaptive prefilter: each shard re-decides from its own final reject
+	// share (engage at ≥1/16); shards that served nothing keep their state.
+	for _, sh := range se.shards {
+		if len(sh.idx) == 0 {
+			continue
+		}
+		rej := 0
+		for _, ri := range sh.idx {
+			if res[ri].Path == nil {
+				rej++
+			}
+		}
+		engage := rej*16 >= len(sh.idx)
+		if engage != sh.engaged {
+			if engage {
+				se.stats.PrefilterEngages++
+			} else {
+				se.stats.PrefilterDisengages++
+			}
+			sh.engaged = engage
+		}
+	}
+	return res
+}
+
+// commitOrdered is the ordered commit walk over requests [from, len(reqs)):
+// the authoritative serial path every batch ends in. It validates each
+// surviving speculative path against batchMark (which, on parallel
+// batches, already includes the disjoint-committed prefix), claims through
+// the ordered protocol, and falls back to a live re-probe on conflict —
+// exactly the sequential Router's view at that request's turn.
+func (se *ShardedEngine) commitOrdered(reqs []Request, res []Result, from int) {
+	for i := from; i < len(reqs); i++ {
 		rq := reqs[i]
 		res[i] = Result{Request: rq}
 		if f := se.flags[i]; f != flagNone {
@@ -456,29 +658,159 @@ func (se *ShardedEngine) ServeBatch(reqs []Request, res []Result) []Result {
 		se.commit(rq, q, &res[i], 2)
 		se.stats.Fallbacks++
 	}
-	// Adaptive prefilter: each shard re-decides from its own final reject
-	// share (engage at ≥1/16); shards that served nothing keep their state.
-	for _, sh := range se.shards {
-		if len(sh.idx) == 0 {
+}
+
+// commitDisjoint is the parallel commit fast path for batches that ran
+// phase A on the workers. It finds the maximal prefix of requests the
+// ordered walk would commit untouched and commits them with no ordering at
+// all, returning the index the ordered walk must resume from.
+//
+// Correctness (why the prefix is EXACTLY what the sequential walk does,
+// not a conservative guess):
+//
+//  1. A serial first-writer pass stamps every vertex of every surviving
+//     speculative path with the smallest request index whose path covers
+//     it (specOwner, epoch-scoped by specStamp).
+//
+//  2. A parallel sweep then marks request k valid iff it has a speculative
+//     path and no vertex of its probe TRACE is owned by an earlier
+//     request. Let k0 be the first flagNone request that is not valid; the
+//     clean prefix is [0, k0).
+//
+//     Within the prefix the verdicts coincide with the ordered walk's
+//     batchMark test: by induction, every flagNone request j < k < k0
+//     fast-path commits its speculative path p_j, so the marks the ordered
+//     walk would have accumulated at k's turn are exactly ∪_{j<k} p_j. If
+//     trace_k meets some p_j (j < k), any vertex in the intersection has
+//     specOwner ≤ j < k — first-writer-wins can only LOWER the owner — so
+//     the sweep flags k invalid; conversely an owner j < k on a trace_k
+//     vertex means that vertex lies on p_j, which the ordered walk would
+//     have marked. Identical verdicts, so k0 is precisely the first
+//     request the ordered walk would NOT fast-path, and the walk resumes
+//     there against a batchMark state identical to the sequential one.
+//
+//  3. Prefix paths are pairwise vertex-disjoint (p_k ⊆ trace_k, so an
+//     overlap with an earlier p_j would have invalidated k), hence their
+//     claim stores commute and the commit needs no ordering: path copy,
+//     batchMark stamps, claim stores, and result fills all touch disjoint
+//     state per request. Everything order-sensitive — pooled path
+//     allocation, circuit-registry install order, stats — runs in a short
+//     serial prologue first.
+//
+// Rejected requests inside the prefix (flagRejected/flagRejectedEndpoint)
+// commit nothing and only fill their own result slot, so they ride along
+// in the parallel pass.
+func (se *ShardedEngine) commitDisjoint(reqs []Request, res []Result) int {
+	n := len(reqs)
+	se.valid = growFlags(se.valid, n)
+	se.commitDst = growDst(se.commitDst, n)
+	epoch := se.batchEpoch
+
+	// 1) First-writer ownership marking (serial, O(total path length)).
+	for i := 0; i < n; i++ {
+		if se.flags[i] != flagNone {
 			continue
 		}
-		rej := 0
-		for _, ri := range sh.idx {
-			if res[ri].Path == nil {
-				rej++
+		for _, v := range se.spec[i].path {
+			if se.specStamp[v] != epoch {
+				se.specStamp[v] = epoch
+				se.specOwner[v] = uint32(i)
 			}
-		}
-		engage := rej*16 >= len(sh.idx)
-		if engage != sh.engaged {
-			if engage {
-				se.stats.PrefilterEngages++
-			} else {
-				se.stats.PrefilterDisengages++
-			}
-			sh.engaged = engage
 		}
 	}
-	return res
+
+	// 2) Parallel validation sweep (O(total trace length) across workers).
+	se.fanOut(taskValidate, reqs, res, n)
+
+	// 3) Maximal clean prefix.
+	first := n
+	for i := 0; i < n; i++ {
+		if se.flags[i] == flagNone && se.valid[i] == 0 {
+			first = i
+			break
+		}
+	}
+
+	// 4) Serial prologue: pooled destination slices, registry installs in
+	// input order (the registry's iteration order is part of the
+	// deterministic contract), stats.
+	for i := 0; i < first; i++ {
+		if se.flags[i] != flagNone {
+			continue
+		}
+		p := se.newPath(len(se.spec[i].path))
+		se.commitDst[i] = p
+		se.circ.install(reqs[i].In, reqs[i].Out, p)
+		se.stats.Accepted++
+		se.stats.FastPath++
+		se.stats.DisjointCommits++
+	}
+
+	// 5) Parallel commit of the prefix: copy, mark, claim, fill results.
+	se.fanOut(taskCommit, reqs, res, first)
+	return first
+}
+
+// validateRange is the parallel validation sweep over requests [lo,hi):
+// valid[i] = 1 iff request i has a speculative path whose trace no earlier
+// request's speculative path touches. Reads only state written before the
+// fan-out (flags, spec, the ownership marks); writes only valid[lo:hi].
+func (se *ShardedEngine) validateRange(lo, hi int) {
+	epoch := se.batchEpoch
+	for i := lo; i < hi; i++ {
+		if se.flags[i] != flagNone {
+			se.valid[i] = 0
+			continue
+		}
+		sp := se.spec[i]
+		ok := sp.path != nil
+		if ok {
+			for _, v := range sp.trace {
+				if se.specStamp[v] == epoch && se.specOwner[v] < uint32(i) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			se.valid[i] = 1
+		} else {
+			se.valid[i] = 0
+		}
+	}
+}
+
+// commitRange commits clean-prefix requests [lo,hi) with no ordering:
+// every store targets state owned by exactly one request in the prefix
+// (paths are pairwise disjoint, result slots are per-request), so ranges
+// may run concurrently. The claim store asserts the vertex was idle — a
+// violation means the validation proof is broken, and panicking beats
+// corrupting the claim array.
+func (se *ShardedEngine) commitRange(reqs []Request, res []Result, lo, hi int) {
+	epoch := se.batchEpoch
+	claims := se.cr.claims
+	for i := lo; i < hi; i++ {
+		rq := reqs[i]
+		res[i] = Result{Request: rq}
+		switch se.flags[i] {
+		case flagRejected:
+			res[i].Attempts = 1
+			continue
+		case flagRejectedEndpoint:
+			continue
+		}
+		dst := se.commitDst[i]
+		copy(dst, se.spec[i].path)
+		for _, v := range dst {
+			se.batchMark[v] = epoch
+			if claims[v].Load() != 0 {
+				panic("route: disjoint commit claim conflicted; validation broken")
+			}
+			claims[v].Store(1)
+		}
+		res[i].Path = dst
+		res[i].Attempts = 1
+	}
 }
 
 // claimOrdered claims every vertex of a path that is known conflict-free
@@ -515,6 +847,7 @@ func (se *ShardedEngine) bumpBatchEpoch() {
 	se.batchEpoch++
 	if se.batchEpoch == 0 {
 		clear(se.batchMark)
+		clear(se.specStamp)
 		se.batchEpoch = 1
 	}
 }
@@ -816,6 +1149,16 @@ func growSpec(s []specEntry, n int) []specEntry {
 func growFlags(s []uint8, n int) []uint8 {
 	if cap(s) < n {
 		return make([]uint8, n)
+	}
+	return s[:n]
+}
+
+// growDst resizes the per-request destination-slice scratch without
+// clearing: the commit prologue overwrites every slot the parallel pass
+// reads.
+func growDst(s [][]int32, n int) [][]int32 {
+	if cap(s) < n {
+		return make([][]int32, n)
 	}
 	return s[:n]
 }

@@ -209,6 +209,7 @@ func TestShardedInvarianceAcrossShardsAndPrefilter(t *testing.T) {
 // on the n=64 network, with state verification and decision comparison
 // against the sequential router per epoch.
 func TestShardedRaceStress(t *testing.T) {
+	pinProcs(t, 4)
 	nw := buildNet(t, 3)
 	n := len(nw.Inputs())
 	perm := rng.New(7).Perm(n)
@@ -377,21 +378,26 @@ func TestShardedSetMasksSharedReleases(t *testing.T) {
 }
 
 // FuzzShardedVsSequential fuzzes fault patterns and batch splits on the
-// small network, asserting decision equality between the sequential router
-// and a 3-shard engine with the prefilter forced on.
+// n=16 network, asserting decision AND path equality between the
+// sequential router and a 2-shard engine with the prefilter forced on.
+// GOMAXPROCS is pinned >1 and full-width batches clear the 2-shard
+// fan-out threshold, so the fuzzer also drives the persistent workers and
+// the disjoint parallel commit, not just the serial walk.
 func FuzzShardedVsSequential(f *testing.F) {
+	pinProcs(f, 4)
 	f.Add(uint64(1), uint8(3))
 	f.Add(uint64(42), uint8(16))
 	f.Add(uint64(0xDEAD), uint8(1))
-	nw, err := core.Build(core.Params{Nu: 1, Gamma: 0, M: 8, DQ: 3, Seed: 1})
+	nw, err := core.Build(core.Params{Nu: 2, Gamma: 0, M: 8, DQ: 3, Seed: 1})
 	if err != nil {
 		f.Fatal(err)
 	}
 	f.Fuzz(func(t *testing.T, seed uint64, batchRaw uint8) {
 		m := repairedMasks(t, nw, 0.04, seed)
 		rt := route.NewRouter(nw.G)
+		rt.EnablePathReuse()
 		rt.SetMasksShared(m.VertexOK, m.EdgeOK, m.OutAllowed)
-		se := route.NewShardedEngine(nw.G, 3)
+		se := route.NewShardedEngine(nw.G, 2)
 		se.Prefilter = route.PrefilterOn
 		se.SetMasksShared(m.VertexOK, m.EdgeOK, m.OutAllowed)
 		wl := netsim.NewWorkload(nw.Inputs(), nw.Outputs(), seed^0x9E3779B97F4A7C15)
@@ -401,9 +407,20 @@ func FuzzShardedVsSequential(f *testing.F) {
 			reqs := wl.NextConnects(batch)
 			res = se.ServeBatch(reqs, res)
 			for i, rq := range reqs {
-				_, err := rt.Connect(rq.In, rq.Out)
+				path, err := rt.Connect(rq.In, rq.Out)
 				if (err == nil) != (res[i].Path != nil) {
 					t.Fatalf("round %d req %d: decision mismatch", round, i)
+				}
+				if err != nil {
+					continue
+				}
+				if len(path) != len(res[i].Path) {
+					t.Fatalf("round %d req %d: path lengths differ", round, i)
+				}
+				for j := range path {
+					if path[j] != res[i].Path[j] {
+						t.Fatalf("round %d req %d: paths diverge at %d", round, i, j)
+					}
 				}
 			}
 			wl.CommitResults(res[:len(reqs)])
