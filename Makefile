@@ -2,14 +2,25 @@
 
 GO ?= go
 
-.PHONY: build test race bench experiments experiments-full fuzz-smoke \
-	bench-ci bench-baseline bench-check
+.PHONY: build test race lint ftlint bench experiments experiments-full \
+	fuzz-smoke bench-ci bench-baseline bench-check
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# Static contract gate: go vet plus the in-tree ftlint analyzers
+# (determinism, hotpath, seamcontract — see internal/analysis). Single
+# source of truth: the CI lint job runs exactly this target.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/ftlint ./...
+
+# ftlint alone (skip vet), e.g. while iterating on suppressions.
+ftlint:
+	$(GO) run ./cmd/ftlint ./...
 
 race:
 	$(GO) test -race ./...

@@ -147,12 +147,19 @@ func parse(r io.Reader) (map[string]Bench, error) {
 // provenance fields, and the pre-per-cpu flat schema (whose entries
 // decode to a nil Cpus map — failing loudly here is the compatibility
 // contract, a flat baseline must never gate silently as "no benchmarks").
+// validCommit accepts a commit identifier as provenance: non-blank and
+// not the "unknown" placeholder old emit invocations defaulted to.
+func validCommit(c string) bool {
+	c = strings.TrimSpace(c)
+	return c != "" && c != "unknown"
+}
+
 func validate(base Baseline, path string) error {
 	if base.Go == "" {
 		return fmt.Errorf("benchdiff: %s: missing \"go\" field; regenerate with `make bench-baseline`", path)
 	}
-	if base.Commit == "" {
-		return fmt.Errorf("benchdiff: %s: missing \"commit\" field; regenerate with `make bench-baseline`", path)
+	if !validCommit(base.Commit) {
+		return fmt.Errorf("benchdiff: %s: missing \"commit\" field (empty or %q); regenerate with `make bench-baseline`", path, base.Commit)
 	}
 	if len(base.Benchmarks) == 0 {
 		return fmt.Errorf("benchdiff: %s: no benchmarks in baseline", path)
@@ -255,7 +262,7 @@ func checkAncestry(commit string, w io.Writer) {
 
 func main() {
 	emit := flag.Bool("emit", false, "emit a BENCH.json baseline from bench output on stdin")
-	commit := flag.String("commit", "unknown", "commit identifier recorded in the baseline")
+	commit := flag.String("commit", "", "commit identifier recorded in the baseline (required with -emit)")
 	baselinePath := flag.String("baseline", "", "committed baseline to gate bench output (stdin) against")
 	threshold := flag.Float64("threshold", 0.15, "allowed fractional ns/op regression before failing")
 	flag.Parse()
@@ -272,6 +279,14 @@ func main() {
 
 	switch {
 	case *emit:
+		// Refuse to mint a baseline without provenance: an empty or
+		// placeholder commit is exactly the silent-drift class the gate's
+		// ancestry check exists to catch, and it must fail at write time,
+		// not when the broken baseline later gates a PR.
+		if !validCommit(*commit) {
+			fmt.Fprintf(os.Stderr, "benchdiff: -emit requires -commit (got %q); use -commit \"$(git rev-parse --short HEAD)\"\n", *commit)
+			os.Exit(2)
+		}
 		b := Baseline{Go: runtime.Version(), Commit: *commit, Benchmarks: cur}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

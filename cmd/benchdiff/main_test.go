@@ -54,6 +54,10 @@ func TestValidateRejectsFlatAndMissingProvenance(t *testing.T) {
 	}{
 		{"missing go", Baseline{Commit: "abc", Benchmarks: good.Benchmarks}, `"go"`},
 		{"missing commit", Baseline{Go: "go1.24.0", Benchmarks: good.Benchmarks}, `"commit"`},
+		{"blank commit", Baseline{Go: "go1.24.0", Commit: "   ", Benchmarks: good.Benchmarks}, `"commit"`},
+		// "unknown" was the historical -commit flag default: a baseline
+		// carrying it has no provenance and must be refused like an empty one.
+		{"placeholder commit", Baseline{Go: "go1.24.0", Commit: "unknown", Benchmarks: good.Benchmarks}, `"commit"`},
 		{"empty", Baseline{Go: "go1.24.0", Commit: "abc"}, "no benchmarks"},
 		// The pre-per-cpu flat schema decodes to entries with a nil Cpus
 		// map; it must be refused loudly, never gated as an empty set.
@@ -121,5 +125,18 @@ func TestGatePerCpu(t *testing.T) {
 		"BenchmarkY": bench(map[string]Entry{"8": {NsOp: 50, AllocsOp: 0}}),
 	}); !ok || !strings.Contains(out, "warn  BenchmarkY (cpu=8)") {
 		t.Errorf("unknown benchmark should warn, not gate:\n%s", out)
+	}
+}
+
+func TestValidCommit(t *testing.T) {
+	for c, want := range map[string]bool{
+		"abc1234": true,
+		"":        false,
+		"  ":      false,
+		"unknown": false,
+	} {
+		if got := validCommit(c); got != want {
+			t.Errorf("validCommit(%q) = %v, want %v", c, got, want)
+		}
 	}
 }

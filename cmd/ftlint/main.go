@@ -1,0 +1,78 @@
+// Command ftlint runs the repository's contract analyzers — determinism,
+// hotpath, seamcontract (see internal/analysis) — over the module and
+// exits nonzero on any finding. It is the static half of the invariants
+// the test suite pins at runtime, and `make lint` wires it next to go vet
+// so CI and local runs are identical.
+//
+// Usage:
+//
+//	ftlint [packages]
+//
+// With no arguments (or "./...") every buildable package in the module is
+// linted; otherwise arguments are import paths (ftcsn/internal/route).
+// Analyzer scoping is policy, not per-invocation choice: each analyzer
+// runs only on the packages its contract covers (internal/analysis
+// scopes).
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ftcsn/internal/analysis"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ftlint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string) error {
+	wd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	ld, err := analysis.NewLoader(wd)
+	if err != nil {
+		return err
+	}
+
+	var paths []string
+	if len(args) == 0 || (len(args) == 1 && (args[0] == "./..." || args[0] == "...")) {
+		paths, err = ld.ListPackages()
+		if err != nil {
+			return err
+		}
+	} else {
+		paths = args
+	}
+
+	total := 0
+	for _, path := range paths {
+		analyzers := analysis.AnalyzersFor(path)
+		pkg, err := ld.Load(path)
+		if err != nil {
+			return err
+		}
+		findings, err := analysis.RunPackage(pkg, analyzers)
+		if err != nil {
+			return err
+		}
+		for _, f := range findings {
+			pos := f.Pos
+			if rel, err := filepath.Rel(wd, pos.Filename); err == nil {
+				pos.Filename = rel
+			}
+			fmt.Printf("%s: [%s] %s\n", pos, f.Analyzer, f.Message)
+		}
+		total += len(findings)
+	}
+	if total > 0 {
+		fmt.Printf("ftlint: %d finding(s)\n", total)
+		os.Exit(1)
+	}
+	return nil
+}

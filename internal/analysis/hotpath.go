@@ -1,0 +1,290 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Hotpath is the static complement of the AllocsPerRun benchmark gates:
+// functions annotated //ftcsn:hotpath must be allocation-free, and the
+// check extends transitively through their same-package static callees
+// (cross-package, interface, and function-value calls are out of reach by
+// design — the callee package annotates its own hot entry points).
+//
+// Flagged constructs: go statements, closure literals, make/new, slice
+// and map composite literals, &T{...} literals, fmt calls, non-constant
+// string concatenation, interface boxing (conversions and call arguments
+// that box a non-pointer-shaped value), variadic calls that materialize
+// an argument slice, and append — except the arena idiom
+// `x = append(x, ...)` / `x = append(x[:k], ...)`, where the result
+// reassigns the same slice header it extends, so steady-state growth is
+// amortized into pre-sized backing arrays.
+//
+// A finding is either a latent allocation (fix it) or a cold edge of the
+// annotated function — pool-miss fallbacks, lazy one-time init, panic
+// paths — which gets a //ftlint:ignore hotpath <reason> documenting why
+// the AllocsPerRun gate never sees it.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "checks //ftcsn:hotpath functions (and same-package callees) for allocations",
+	Run:  runHotpath,
+}
+
+func runHotpath(pass *Pass) error {
+	// Collect every function declaration and the //ftcsn:hotpath roots.
+	declOf := map[types.Object]*ast.FuncDecl{}
+	var roots []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[fn.Name]; obj != nil {
+				declOf[obj] = fn
+			}
+			if funcDirective(fn, "hotpath") {
+				roots = append(roots, fn)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+
+	// Breadth-first closure over same-package static calls, remembering
+	// which root made each function hot (for the diagnostic message).
+	rootName := map[*ast.FuncDecl]string{}
+	var queue []*ast.FuncDecl
+	for _, r := range roots {
+		rootName[r] = funcDisplayName(r)
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObject(pass, call)
+			if obj == nil || obj.Pkg() != pass.Pkg {
+				return true
+			}
+			callee, ok := declOf[obj]
+			if !ok {
+				return true
+			}
+			if _, seen := rootName[callee]; !seen {
+				rootName[callee] = rootName[fn]
+				queue = append(queue, callee)
+			}
+			return true
+		})
+	}
+
+	for fn, root := range rootName {
+		checkHotFunc(pass, fn, root)
+	}
+	return nil
+}
+
+func funcDisplayName(fn *ast.FuncDecl) string {
+	if fn.Recv != nil && len(fn.Recv.List) == 1 {
+		return fmt.Sprintf("(%s).%s", types.ExprString(fn.Recv.List[0].Type), fn.Name.Name)
+	}
+	return fn.Name.Name
+}
+
+// checkHotFunc walks one hot function's body (closure bodies included —
+// a closure created here runs here) and reports every allocating
+// construct.
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl, root string) {
+	// Appends of the sanctioned self-assignment form are collected first:
+	// ast.Inspect is pre-order, so an AssignStmt is visited before the
+	// append call on its right-hand side.
+	sanctioned := map[*ast.CallExpr]bool{}
+	report := func(n ast.Node, format string, args ...any) {
+		pass.Reportf(n.Pos(), "%s (hot path via //ftcsn:hotpath %s)", fmt.Sprintf(format, args...), root)
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			markSanctionedAppends(pass, n, sanctioned)
+		case *ast.GoStmt:
+			report(n, "go statement allocates a goroutine")
+		case *ast.FuncLit:
+			report(n, "closure literal allocates")
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := unparen(n.X).(*ast.CompositeLit); ok {
+					report(n, "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.CompositeLit:
+			if t := pass.TypesInfo.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					report(n, "slice literal allocates its backing array")
+				case *types.Map:
+					report(n, "map literal allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" {
+				if tv, ok := pass.TypesInfo.Types[n]; ok && tv.Value == nil {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(n, "string concatenation allocates")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, n, sanctioned, report)
+		}
+		return true
+	})
+}
+
+// markSanctionedAppends records append calls of the arena idiom
+// x = append(x, ...) / x = append(x[:k], ...), matching the assignment
+// target against the append's first argument with slice expressions
+// stripped.
+func markSanctionedAppends(pass *Pass, as *ast.AssignStmt, sanctioned map[*ast.CallExpr]bool) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := unparen(rhs).(*ast.CallExpr)
+		if !ok || !isBuiltin(pass, call, "append") || len(call.Args) == 0 {
+			continue
+		}
+		base := unparen(call.Args[0])
+		for {
+			if se, ok := base.(*ast.SliceExpr); ok {
+				base = unparen(se.X)
+				continue
+			}
+			break
+		}
+		if types.ExprString(as.Lhs[i]) == types.ExprString(base) {
+			sanctioned[call] = true
+		}
+	}
+}
+
+func isBuiltin(pass *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func checkHotCall(pass *Pass, call *ast.CallExpr, sanctioned map[*ast.CallExpr]bool, report func(ast.Node, string, ...any)) {
+	// Conversion, not a call: T(x) boxing when T is an interface.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type.Underlying()) && len(call.Args) == 1 {
+			if boxes(pass, call.Args[0]) {
+				report(call, "conversion to interface boxes %s", types.ExprString(call.Args[0]))
+			}
+		}
+		return
+	}
+
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if _, isB := pass.TypesInfo.Uses[id].(*types.Builtin); isB {
+			switch id.Name {
+			case "make":
+				report(call, "make allocates")
+			case "new":
+				report(call, "new allocates")
+			case "append":
+				if !sanctioned[call] {
+					report(call, "append outside the x = append(x, ...) arena idiom may allocate a new backing array")
+				}
+			}
+			return
+		}
+	}
+
+	if obj := calleeObject(pass, call); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		report(call, "fmt.%s allocates (formatting, interface boxing)", obj.Name())
+		return
+	}
+
+	// Interface boxing at call boundaries, and the slice a variadic call
+	// materializes for its ... arguments.
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type()
+			} else if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		// A type-parameter parameter is not an interface parameter: generic
+		// calls pass the value directly (its underlying constraint interface
+		// must not trip the check).
+		if _, isTP := pt.(*types.TypeParam); isTP {
+			continue
+		}
+		if types.IsInterface(pt.Underlying()) && boxes(pass, arg) {
+			report(arg, "passing %s as interface argument boxes it", types.ExprString(arg))
+		}
+	}
+	if sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) >= params.Len() {
+		report(call, "variadic call allocates its argument slice")
+	}
+}
+
+// boxes reports whether passing arg to an interface allocates: true for
+// non-interface, non-pointer-shaped, non-constant values. Constants
+// convert to static data; pointers, channels, maps, and funcs fit the
+// interface word directly.
+func boxes(pass *Pass, arg ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Value != nil { // constants (incl. string literals) are static data
+		return false
+	}
+	t := tv.Type
+	if t == nil {
+		return false
+	}
+	// A type parameter's underlying type is its constraint interface, which
+	// would slip through the switch below; at the generic declaration site
+	// the instantiation is unknown, so assume the worst (a value type boxes).
+	if _, ok := t.(*types.TypeParam); ok {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Interface:
+		return false
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		if u.Kind() == types.UnsafePointer || u.Kind() == types.UntypedNil {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ftcsn/internal/analysis"
+	"ftcsn/internal/analysis/analysistest"
+)
+
+func TestSeamContractFixture(t *testing.T) {
+	analysistest.Run(t, analysis.SeamContract, "seamcontract")
+}

@@ -1,0 +1,92 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ftcsn/internal/analysis"
+)
+
+// TestSuppressionGrammar checks the failure modes of //ftlint:ignore
+// itself: a reason-less suppression, an unknown analyzer, and a
+// suppression that silences nothing are all findings — the grammar is
+// only an audit trail if it cannot rot silently.
+func TestSuppressionGrammar(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+//ftlint:ignore determinism
+func NoReason() {}
+
+//ftlint:ignore bogus some reason
+func UnknownAnalyzer() {}
+
+//ftlint:ignore determinism this function has no determinism finding to silence
+func Unused() {}
+`
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ld, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld.AddRoot("p", dir)
+	pkg, err := ld.Load("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.RunPackage(pkg, []*analysis.Analyzer{analysis.Determinism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSubstrings := []string{
+		"without a reason",
+		`unknown analyzer "bogus"`,
+		"unused //ftlint:ignore determinism",
+	}
+	if len(findings) != len(wantSubstrings) {
+		t.Fatalf("got %d findings, want %d: %v", len(findings), len(wantSubstrings), findings)
+	}
+	for i, sub := range wantSubstrings {
+		if !strings.Contains(findings[i].Message, sub) {
+			t.Errorf("finding %d = %q, want substring %q", i, findings[i].Message, sub)
+		}
+		if findings[i].Analyzer != "ftlint" {
+			t.Errorf("finding %d analyzer = %q, want ftlint", i, findings[i].Analyzer)
+		}
+	}
+}
+
+// TestAnalyzerScopes pins the driver policy: determinism and seamcontract
+// run only on the packages whose contracts they enforce, hotpath runs
+// everywhere (it is annotation-driven).
+func TestAnalyzerScopes(t *testing.T) {
+	names := func(as []*analysis.Analyzer) []string {
+		var out []string
+		for _, a := range as {
+			out = append(out, a.Name)
+		}
+		return out
+	}
+	cases := []struct {
+		path string
+		want string
+	}{
+		{"ftcsn/internal/route", "determinism hotpath seamcontract"},
+		{"ftcsn/internal/core", "determinism hotpath seamcontract"},
+		{"ftcsn/internal/fault", "determinism hotpath"},
+		{"ftcsn/internal/netsim", "determinism hotpath"},
+		{"ftcsn/internal/experiments", "determinism hotpath"},
+		{"ftcsn/internal/montecarlo", "hotpath"},
+		{"ftcsn/cmd/ftsim", "hotpath"},
+	}
+	for _, c := range cases {
+		got := strings.Join(names(analysis.AnalyzersFor(c.path)), " ")
+		if got != c.want {
+			t.Errorf("AnalyzersFor(%s) = %q, want %q", c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Package determinism is the ftlint fixture for the determinism analyzer:
+// each seeded violation carries a want annotation, and the legal idioms
+// next to them must stay silent.
+package determinism
+
+import (
+	"math/rand" // want "import of math/rand"
+	"time"
+)
+
+func MapIter(m map[int]int) int {
+	s := 0
+	for k := range m { // want "map iteration order is randomized"
+		s += k
+	}
+	return s
+}
+
+func MapIterSuppressed(m map[int]int) int {
+	s := 0
+	//ftlint:ignore determinism fixture: order-insensitive sum, proves suppression is honored
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+func MapIndexIsFine(m map[int]int) int {
+	return m[3] // lookups are deterministic; only iteration is flagged
+}
+
+func Clock() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func PureTime(sec int64) time.Time {
+	return time.Unix(sec, 0) // pure constructor; not flagged
+}
+
+func GlobalRand() int {
+	return rand.Int() // the import line above is the finding
+}
+
+func TwoReady(a, b chan int) int {
+	select { // want "select with 2 channel cases"
+	case x := <-a:
+		return x
+	case x := <-b:
+		return x
+	}
+}
+
+func TwoReadySuppressed(a, b chan int) int {
+	//ftlint:ignore determinism fixture: both channels feed the same fold, proves suppression is honored
+	select {
+	case x := <-a:
+		return x
+	case x := <-b:
+		return x
+	}
+}
+
+func OneReadyWithDefault(a chan int) int {
+	select { // a single comm case plus default is deterministic enough
+	case x := <-a:
+		return x
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,69 @@
+// Package seamcontract is the ftlint fixture for the seamcontract
+// analyzer: direct admission-mask reads and unsanctioned claim writes are
+// seeded violations; the traversal-byte seam, mask writes, claim reads,
+// and annotated owners must stay silent.
+package seamcontract
+
+import (
+	"sync/atomic"
+
+	"ftcsn/internal/fault"
+)
+
+type router struct {
+	vertexOK []bool
+	edgeOK   []bool
+	visited  []bool
+	claims   []atomic.Int32
+	allowed  []uint8
+}
+
+func (r *router) BadVertexRead(v int32) bool {
+	return r.vertexOK[v] // want "direct admission-mask read"
+}
+
+func (r *router) BadEdgeRead(e int32) bool {
+	return r.edgeOK[e] // want "direct admission-mask read"
+}
+
+func BadStateRead(st []fault.State, e int32) bool {
+	return st[e] == fault.Normal // want "fault.State read"
+}
+
+func (r *router) PlainBoolRead(i int32) bool {
+	return r.visited[i] // not a mask name: no finding
+}
+
+func (r *router) TraversalBytes(slot int32) bool {
+	return r.allowed[slot] == 0 // the sanctioned shared seam
+}
+
+func (r *router) MaskWrite(v int32) {
+	r.vertexOK[v] = false // writes are the maintainers' job: exempt
+}
+
+func (r *router) AuditedRead(v int32) bool {
+	//ftlint:ignore seamcontract fixture: audited reader, proves suppression is honored
+	return r.vertexOK[v]
+}
+
+func (r *router) BadClaimWrite(v int32) {
+	r.claims[v].Store(1) // want "outside a //ftcsn:claimowner"
+}
+
+func (r *router) BadClaimCAS(v int32) bool {
+	return r.claims[v].CompareAndSwap(0, 1) // want "outside a //ftcsn:claimowner"
+}
+
+//ftcsn:claimowner fixture: the sanctioned claim helper
+func (r *router) GoodClaim(v int32) bool {
+	if !r.claims[v].CompareAndSwap(0, 1) {
+		return false
+	}
+	r.claims[v].Store(1)
+	return true
+}
+
+func (r *router) ClaimRead(v int32) int32 {
+	return r.claims[v].Load() // reads are free: Load is not a mutator
+}

@@ -29,6 +29,7 @@ type Masks struct {
 }
 
 func (m Masks) vertexAllowed(v int32) bool {
+	//ftlint:ignore seamcontract audited: reference slow-path BFS accessor, kept to differentially test the traversal-byte fast path
 	if m.VertexOK != nil && !m.VertexOK[v] {
 		return false
 	}
@@ -39,6 +40,7 @@ func (m Masks) vertexAllowed(v int32) bool {
 }
 
 func (m Masks) edgeAllowed(e int32) bool {
+	//ftlint:ignore seamcontract audited: reference slow-path BFS accessor, kept to differentially test the traversal-byte fast path
 	return m.EdgeOK == nil || m.EdgeOK[e]
 }
 
@@ -378,6 +380,7 @@ func (nw *Network) majorityAccessBFS(ac *AccessChecker, m Masks, rep *MajorityRe
 // growInts resizes s to n elements, reusing capacity when possible.
 func growInts(s []int, n int) []int {
 	if cap(s) < n {
+		//ftlint:ignore hotpath growth fallback on first use; steady-state trials reuse the capacity
 		return make([]int, n)
 	}
 	return s[:n]

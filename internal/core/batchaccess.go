@@ -60,6 +60,7 @@ func NewBatchAccessChecker(nw *Network) *BatchAccessChecker {
 // NewBatchAccessCheckerIn is NewBatchAccessChecker drawing the lane rows —
 // the checker's one large buffer — from a (nil a allocates normally).
 func NewBatchAccessCheckerIn(nw *Network, a *arena.Arena) *BatchAccessChecker {
+	//ftlint:ignore hotpath constructor: reached from the trial path only through MajorityAccessInto's one-time lazy init
 	bc := &BatchAccessChecker{nw: nw, lanes: 64}
 	if lv, err := nw.G.Levels(); err == nil && nw.MiddleStage+1 < len(lv.First()) {
 		bc.lv = lv

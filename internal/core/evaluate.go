@@ -228,6 +228,8 @@ func (ev *Evaluator) resync() {
 // counterpart of EvaluateInto, bit-identical to it for the same trial
 // stream. Churn randomness resumes the trial's own stream from its
 // post-injection state.
+//
+//ftcsn:hotpath per-trial pipeline core; 0 allocs/trial pinned by BenchmarkEvaluatorBatchTrial
 func (ev *Evaluator) EvaluateNextInto(out *TrialOutcome, churnOps int) {
 	ev.requireSynced()
 	diff := ev.batch.ApplyNext(ev.inst)
@@ -269,6 +271,8 @@ func (ev *Evaluator) EvaluateNextInto(out *TrialOutcome, churnOps int) {
 // EvaluateNextCertInto is EvaluateNextInto restricted to the
 // majority-access certificate — the batched counterpart of
 // EvaluateCertificateInto, bit-identical to it for the same trial stream.
+//
+//ftcsn:hotpath per-trial certificate pipeline; 0 allocs/trial pinned by BenchmarkEvaluatorBatchCertTrial
 func (ev *Evaluator) EvaluateNextCertInto(out *TrialOutcome) {
 	ev.requireSynced()
 	diff := ev.batch.ApplyNext(ev.inst)

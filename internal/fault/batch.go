@@ -194,6 +194,8 @@ func (bi *BatchInjector) fillTrial(j int) {
 // whose state changed, each once, with old and new states. The returned
 // slice is reused by the next call. After ApplyNext, inst is bit-identical
 // to a fresh InjectInto with the trial's generator.
+//
+//ftcsn:hotpath per-trial fault advance; the O(#changes) diff is why trials beat O(E) re-injection
 func (bi *BatchInjector) ApplyNext(inst *Instance) []DiffEntry {
 	j := bi.next
 	if j >= bi.Len() {

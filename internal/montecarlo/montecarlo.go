@@ -40,6 +40,7 @@ const DefaultBlock = 32
 
 func (c Config) workers() int {
 	if c.Workers < 0 {
+		//ftlint:ignore hotpath panic path for a caller bug (negative worker count); never taken on a valid Config
 		panic(fmt.Sprintf("montecarlo: Config.Workers must be >= 0, got %d", c.Workers))
 	}
 	if c.Workers > 0 {
@@ -50,6 +51,7 @@ func (c Config) workers() int {
 
 func (c Config) block() int {
 	if c.Block < 0 {
+		//ftlint:ignore hotpath panic path for a caller bug (negative block size); never taken on a valid Config
 		panic(fmt.Sprintf("montecarlo: Config.Block must be >= 0, got %d", c.Block))
 	}
 	if c.Block > 0 {
@@ -89,6 +91,8 @@ func RunSample(cfg Config, trial func(r *rng.RNG) float64) stats.Sample {
 // allocation-free in steady state. Results are identical to RunBool for a
 // pure trial function: trial i still sees the stream rng.Stream(cfg.Seed, i)
 // and proportions merge commutatively.
+//
+//ftcsn:hotpath harness entry for the 0-allocs/trial pipelines; per-run setup in callees carries in-place suppressions
 func RunBoolWith[S any](cfg Config, newScratch func() S, trial func(r *rng.RNG, s S) bool) stats.Proportion {
 	pr, _ := RunBoolWithScratches(cfg, newScratch, trial)
 	return pr
@@ -100,7 +104,9 @@ func RunBoolWith[S any](cfg Config, newScratch func() S, trial func(r *rng.RNG, 
 // once the run is over. Entries are zero values for workers that never
 // started (Trials == 0).
 func RunBoolWithScratches[S any](cfg Config, newScratch func() S, trial func(r *rng.RNG, s S) bool) (stats.Proportion, []S) {
+	//ftlint:ignore hotpath per-run setup: one counter slice, amortized over cfg.Trials trials
 	perWorker := make([]stats.Proportion, cfg.workers())
+	//ftlint:ignore hotpath per-run setup: one trial adapter closure shared by every trial
 	scs := parallelFor(cfg, newScratch, func(w int, r *rng.RNG, s S, i uint64) {
 		perWorker[w].Add(trial(r, s))
 	})
@@ -163,6 +169,7 @@ func parallelFor[S any](cfg Config, newScratch func() S, body func(worker int, r
 		// possibly a materialized evaluator) than there are blocks to claim.
 		workers = numBlocks
 	}
+	//ftlint:ignore hotpath per-run setup: one scratch slot per worker, amortized over cfg.Trials trials
 	scratches := make([]S, workers)
 	if cfg.Trials <= 0 {
 		return scratches
@@ -171,32 +178,46 @@ func parallelFor[S any](cfg Config, newScratch func() S, body func(worker int, r
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		//ftlint:ignore hotpath per-run setup: one goroutine and one spawn closure per worker, amortized over the run
 		go func(w int) {
 			defer wg.Done()
 			s := newScratch()
 			scratches[w] = s
+			//ftlint:ignore hotpath once per worker per run: the BlockStarter probe boxes the scratch a single time
 			starter, _ := any(s).(BlockStarter)
-			var r rng.RNG
-			for {
-				b := next.Add(1) - 1
-				if b >= int64(numBlocks) {
-					return
-				}
-				first := int(b) * block
-				end := first + block
-				if end > cfg.Trials {
-					end = cfg.Trials
-				}
-				if starter != nil {
-					starter.StartBlock(cfg.Seed, uint64(first), end-first)
-				}
-				for i := first; i < end; i++ {
-					r.ReseedStream(cfg.Seed, uint64(i))
-					body(w, &r, s, uint64(i))
-				}
-			}
+			workerLoop(cfg, w, int64(numBlocks), block, &next, s, starter, body)
 		}(w)
 	}
 	wg.Wait()
 	return scratches
+}
+
+// workerLoop is one worker's trial-claiming loop: grab the next block off
+// the shared counter, notify the BlockStarter, reseed the worker RNG to
+// each trial's pure stream, run the body. This is the code every single
+// Monte-Carlo trial in the repository passes through, split out of
+// parallelFor's per-run scaffolding so the static hotpath gate covers it:
+// an allocation here multiplies by cfg.Trials, not by runs.
+//
+//ftcsn:hotpath the per-trial claim loop; must stay allocation-free in steady state
+func workerLoop[S any](cfg Config, w int, numBlocks int64, block int, next *atomic.Int64, s S, starter BlockStarter, body func(worker int, r *rng.RNG, s S, trial uint64)) {
+	var r rng.RNG
+	for {
+		b := next.Add(1) - 1
+		if b >= numBlocks {
+			return
+		}
+		first := int(b) * block
+		end := first + block
+		if end > cfg.Trials {
+			end = cfg.Trials
+		}
+		if starter != nil {
+			starter.StartBlock(cfg.Seed, uint64(first), end-first)
+		}
+		for i := first; i < end; i++ {
+			r.ReseedStream(cfg.Seed, uint64(i))
+			body(w, &r, s, uint64(i))
+		}
+	}
 }

@@ -82,6 +82,8 @@ type ChurnDriver struct {
 // sequential-semantics engine. The engine must start with no live circuit
 // on these terminals; circuits left live at the end belong to the caller
 // (typically released by the next trial's engine Reset).
+//
+//ftcsn:hotpath the per-trial churn serve loop; runs once per trial inside the 0-alloc pipeline
 func (cd *ChurnDriver) Run(eng route.Engine, inputs, outputs []int32, ops int, r *rng.RNG) (connects, failures, pathTotal int) {
 	cd.live = cd.live[:0]
 	cd.idleIn = append(cd.idleIn[:0], inputs...)
@@ -176,6 +178,7 @@ func (cd *ChurnDriver) Run(eng route.Engine, inputs, outputs []int32, ops int, r
 				continue
 			}
 			if err := eng.Disconnect(cd.reqs[i].In, cd.reqs[i].Out); err != nil {
+				//ftlint:ignore hotpath panic path: a rollback disconnect can only fail if the engine broke its own registry invariant
 				panic(fmt.Sprintf("netsim: churn rollback disconnect: %v", err))
 			}
 		}

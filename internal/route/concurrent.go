@@ -102,6 +102,8 @@ func NewConcurrentRepairedRouter(inst *fault.Instance) *ConcurrentRouter {
 // copying; the caller must not update them while a ServeBatch is in
 // flight. Every outstanding claim is released, since a mask change
 // invalidates established circuits.
+//
+//ftcsn:claimowner a mask swap invalidates every outstanding claim; the bulk reset is this owner's job
 func (cr *ConcurrentRouter) SetMasksShared(vertexOK, edgeOK []bool, outAllowed []uint8) {
 	_ = edgeOK
 	cr.vertexOK = vertexOK
@@ -126,6 +128,7 @@ type Result struct {
 }
 
 func (cr *ConcurrentRouter) usableVertex(v int32) bool {
+	//ftlint:ignore seamcontract audited endpoint-admission accessor: vertexOK gates terminals only; per-edge admission stays in the traversal bytes
 	return cr.vertexOK == nil || cr.vertexOK[v]
 }
 
@@ -209,6 +212,8 @@ func (cr *ConcurrentRouter) probe(sc *scratch, in, out int32, rot int32) []int32
 
 // tryClaim atomically claims every vertex of path; on conflict it rolls
 // back and returns false.
+//
+//ftcsn:claimowner the CAS claim helper: claim-then-rollback is the only lock-free acquisition protocol
 func (cr *ConcurrentRouter) tryClaim(path []int32) bool {
 	for i, v := range path {
 		if !cr.claims[v].CompareAndSwap(0, 1) {
@@ -222,6 +227,8 @@ func (cr *ConcurrentRouter) tryClaim(path []int32) bool {
 }
 
 // Release frees the vertices of an established path.
+//
+//ftcsn:claimowner the release half of the claim protocol
 func (cr *ConcurrentRouter) Release(path []int32) {
 	for _, v := range path {
 		cr.claims[v].Store(0)

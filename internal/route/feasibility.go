@@ -40,8 +40,10 @@ type lanePass struct {
 }
 
 func newLanePass(g *graph.Graph) *lanePass {
+	//ftlint:ignore hotpath constructor: built lazily once per shard lifetime (see ShardedEngine.speculate), then reused every batch
 	return &lanePass{
-		rows:    bitset.New(64 * g.NumVertices()),
+		rows: bitset.New(64 * g.NumVertices()),
+		//ftlint:ignore hotpath same one-time lane-pass construction: outMask lives for the shard's lifetime
 		outMask: make([]uint64, g.NumVertices()),
 	}
 }

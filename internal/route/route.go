@@ -33,6 +33,13 @@ var ErrNoPath = errors.New("route: no idle path between requested terminals")
 // ErrBusyTerminal is returned when an endpoint is already in a circuit.
 var ErrBusyTerminal = errors.New("route: terminal already busy")
 
+// ErrDiscardedTerminal is returned when an endpoint has been discarded by
+// repair (its vertex mask bit is off).
+var ErrDiscardedTerminal = errors.New("route: terminal discarded by repair")
+
+// ErrDuplicateCircuit is returned when the requested circuit already exists.
+var ErrDuplicateCircuit = errors.New("route: circuit already exists")
+
 // Router maintains a set of vertex-disjoint circuits on a (possibly
 // repaired) network and serves connect/disconnect requests greedily.
 type Router struct {
@@ -144,26 +151,31 @@ func (rt *Router) SetMasksShared(vertexOK, edgeOK []bool, outAllowed []uint8) {
 func circuitKey(in, out int32) int64 { return int64(in)<<32 | int64(uint32(out)) }
 
 func (rt *Router) usableVertex(v int32) bool {
+	//ftlint:ignore seamcontract audited endpoint-admission accessor: vertexOK gates terminals only; per-edge admission stays in the traversal bytes
 	return rt.vertexOK == nil || rt.vertexOK[v]
 }
 
 func (rt *Router) usableEdge(e int32) bool {
+	//ftlint:ignore seamcontract audited: called only from VerifyInvariants, which cross-checks established paths against the raw masks
 	return rt.edgeOK == nil || rt.edgeOK[e]
 }
 
 // Connect establishes a circuit from input in to output out along a path
 // of idle usable vertices, returning the path (in … out). It fails with
-// ErrBusyTerminal if either endpoint is busy and ErrNoPath if the greedy
-// search finds no idle route.
+// ErrBusyTerminal if either endpoint is busy, ErrDiscardedTerminal if
+// repair discarded an endpoint, ErrDuplicateCircuit on a duplicate
+// request, and ErrNoPath if the greedy search finds no idle route.
+//
+//ftcsn:hotpath sequential reference router; 0 allocs/op pinned by BenchmarkGreedyConnect
 func (rt *Router) Connect(in, out int32) ([]int32, error) {
 	if rt.busy[in] || rt.busy[out] {
 		return nil, ErrBusyTerminal
 	}
 	if !rt.usableVertex(in) || !rt.usableVertex(out) {
-		return nil, fmt.Errorf("route: terminal discarded by repair: %d or %d", in, out)
+		return nil, ErrDiscardedTerminal
 	}
 	if _, dup := rt.circuits[circuitKey(in, out)]; dup {
-		return nil, fmt.Errorf("route: circuit (%d,%d) already exists", in, out)
+		return nil, ErrDuplicateCircuit
 	}
 	rt.epoch++
 	if rt.epoch == 0 { // wrapped: clear stamps and restart epochs
@@ -247,6 +259,7 @@ func (rt *Router) newPath(n int) []int32 {
 			// Too small to reuse: drop it and try the next.
 		}
 	}
+	//ftlint:ignore hotpath pool-miss fallback: steady-state churn recycles retired paths, so this is first-use only
 	return make([]int32, n)
 }
 
@@ -289,6 +302,7 @@ func (rt *Router) PathOf(in, out int32) []int32 { return rt.circuits[circuitKey(
 // one — see VerifyInvariants), so a reset costs O(total live path length)
 // rather than O(V).
 func (rt *Router) Reset() {
+	//ftlint:ignore determinism order-insensitive fold: clearing busy bits and retiring paths commutes across circuits
 	for _, path := range rt.circuits {
 		for _, v := range path {
 			rt.busy[v] = false
@@ -303,6 +317,7 @@ func (rt *Router) Reset() {
 // the churn harness.
 func (rt *Router) VerifyInvariants() error {
 	claimed := make(map[int32]bool)
+	//ftlint:ignore determinism verification helper: which violation is reported first may vary, but any violation fails the caller
 	for key, path := range rt.circuits {
 		in := int32(key >> 32)
 		out := int32(uint32(key))

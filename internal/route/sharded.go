@@ -341,6 +341,8 @@ const (
 // stays garbage-collectable and its finalizer can shut the workers down.
 // (The task-local engine pointer is dead once the iteration's last use
 // passes; Go's precise stack maps keep a parked worker from pinning it.)
+//
+//ftcsn:hotpath runs every phase of every batch on every core; any alloc here multiplies by worker count
 func shardedWorker(ch <-chan workerTask) {
 	for t := range ch {
 		if t.sh != nil {
@@ -362,8 +364,10 @@ func (se *ShardedEngine) ensureWorkers() {
 	if se.workCh != nil {
 		return
 	}
+	//ftlint:ignore hotpath lazy one-time worker startup: the channel and goroutines persist for the engine's lifetime
 	se.workCh = make(chan workerTask, len(se.shards))
 	for i := 1; i < len(se.shards); i++ {
+		//ftlint:ignore hotpath lazy one-time worker startup: spawned once, then parked on the task channel across batches
 		go shardedWorker(se.workCh)
 	}
 	runtime.SetFinalizer(se, (*ShardedEngine).Close)
@@ -443,6 +447,8 @@ func (se *ShardedEngine) Stats() EngineStats {
 }
 
 // ConnectBatch is ServeBatch under its Engine-seam name.
+//
+//ftcsn:hotpath the Engine-seam batch entry point; steady-state allocs are pinned by BenchmarkShardedChurn
 func (se *ShardedEngine) ConnectBatch(reqs []Request, res []Result) []Result {
 	return se.ServeBatch(reqs, res)
 }
@@ -513,8 +519,11 @@ func (se *ShardedEngine) Disconnect(in, out int32) error {
 // Result.Path is pooled: valid until that circuit is disconnected.
 // Attempts is 0 for endpoint rejects, 1 for snapshot decisions (fast-path
 // commits and snapshot rejects), 2 for commit-time fallbacks.
+//
+//ftcsn:hotpath speculate-then-commit batch loop; steady phases are allocation-free (pool-miss and growth fallbacks carry in-place suppressions)
 func (se *ShardedEngine) ServeBatch(reqs []Request, res []Result) []Result {
 	if cap(res) < len(reqs) {
+		//ftlint:ignore hotpath result-slice growth fallback: steady-state callers pass a recycled res of full capacity
 		res = make([]Result, len(reqs))
 	}
 	res = res[:len(reqs)]
@@ -786,6 +795,8 @@ func (se *ShardedEngine) validateRange(lo, hi int) {
 // may run concurrently. The claim store asserts the vertex was idle — a
 // violation means the validation proof is broken, and panicking beats
 // corrupting the claim array.
+//
+//ftcsn:claimowner the disjoint-commit claim writer; disjointness is proven by validateRange before any store
 func (se *ShardedEngine) commitRange(reqs []Request, res []Result, lo, hi int) {
 	epoch := se.batchEpoch
 	claims := se.cr.claims
@@ -820,6 +831,8 @@ func (se *ShardedEngine) commitRange(reqs []Request, res []Result, lo, hi int) {
 // replaces the compare-and-swap, and failure is impossible — still fully
 // visible to the lock-free phase-A readers of the next batch. The claims
 // it writes are released through the same cr.Release as everything else.
+//
+//ftcsn:claimowner the ordered-commit claim writer; commit is the only claim mutator during a batch
 func (se *ShardedEngine) claimOrdered(path []int32) {
 	for _, v := range path {
 		if se.cr.claims[v].Load() != 0 {
@@ -1032,6 +1045,7 @@ func (se *ShardedEngine) newPath(n int) []int32 {
 			return p[:n]
 		}
 	}
+	//ftlint:ignore hotpath pool-miss fallback: steady-state churn recycles retired paths, so this is first-use only
 	return make([]int32, n)
 }
 
@@ -1141,6 +1155,7 @@ func (se *ShardedEngine) VerifyState() error {
 // shard partition covers all request indices) before phase B reads any.
 func growSpec(s []specEntry, n int) []specEntry {
 	if cap(s) < n {
+		//ftlint:ignore hotpath growth fallback on the first batch of a new high-water size; steady state reuses capacity
 		return make([]specEntry, n)
 	}
 	return s[:n]
@@ -1148,6 +1163,7 @@ func growSpec(s []specEntry, n int) []specEntry {
 
 func growFlags(s []uint8, n int) []uint8 {
 	if cap(s) < n {
+		//ftlint:ignore hotpath growth fallback on the first batch of a new high-water size; steady state reuses capacity
 		return make([]uint8, n)
 	}
 	return s[:n]
@@ -1158,6 +1174,7 @@ func growFlags(s []uint8, n int) []uint8 {
 // reads.
 func growDst(s [][]int32, n int) [][]int32 {
 	if cap(s) < n {
+		//ftlint:ignore hotpath growth fallback on the first batch of a new high-water size; steady state reuses capacity
 		return make([][]int32, n)
 	}
 	return s[:n]
