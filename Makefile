@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: build test race lint ftlint bench experiments experiments-full \
-	fuzz-smoke bench-ci bench-baseline bench-check
+	fuzz-smoke bench-ci bench-baseline bench-check ftserve-smoke
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,20 @@ experiments:
 experiments-full:
 	$(GO) run ./cmd/ftbench -mode full -o EXPERIMENTS-full.md
 
+# Open-loop serving determinism smoke: the ftserve report must be a pure
+# function of its flags, so two fixed-seed runs must be byte-identical
+# (and exit clean). CI runs this in the test job.
+ftserve-smoke:
+	@set -e; \
+	$(GO) run ./cmd/ftserve -engine=sharded -seed=7 -eps=0.002 -duration=120 -report=30 > ftserve-a.out; \
+	$(GO) run ./cmd/ftserve -engine=sharded -seed=7 -eps=0.002 -duration=120 -report=30 > ftserve-b.out; \
+	cmp ftserve-a.out ftserve-b.out || { echo "ftserve report not deterministic"; exit 1; }; \
+	$(GO) run ./cmd/ftserve -engine=cas -seed=9 -arrival=mmpp -pattern=hotspot -duration=120 -report=30 > ftserve-a.out; \
+	$(GO) run ./cmd/ftserve -engine=cas -seed=9 -arrival=mmpp -pattern=hotspot -duration=120 -report=30 > ftserve-b.out; \
+	cmp ftserve-a.out ftserve-b.out || { echo "ftserve report not deterministic"; exit 1; }; \
+	rm -f ftserve-a.out ftserve-b.out; \
+	echo "ftserve smoke: deterministic"
+
 # --- fuzz smoke -------------------------------------------------------------
 # Single source of truth for the fuzz-smoke set: CI invokes this target, so
 # adding a fuzzer here is all it takes to gate it everywhere.
@@ -66,7 +80,7 @@ fuzz-smoke:
 # ns/op regression at any cpu count, or any allocs/op increase at cpu=1,
 # fails), bench-baseline refreshes the baseline.
 
-BENCH_GATED := BenchmarkShardedChurn|BenchmarkShardedChurnParallel|BenchmarkGreedyConnect|BenchmarkEvaluatorTrial|BenchmarkEvaluatorBatchTrial|BenchmarkEvaluatorBatchCertTrial|BenchmarkEvaluatorShardedChurnTrial|BenchmarkZooBatchCertTrial|BenchmarkZooShardedChurnTrial|BenchmarkMonteCarloTheorem2Engine|BenchmarkMonteCarloCertificateEngine|BenchmarkPooledE8WitnessSweep|BenchmarkPooledE10CertSweep|BenchmarkWitnessChecks
+BENCH_GATED := BenchmarkShardedChurn|BenchmarkShardedChurnParallel|BenchmarkGreedyConnect|BenchmarkEvaluatorTrial|BenchmarkEvaluatorBatchTrial|BenchmarkEvaluatorBatchCertTrial|BenchmarkEvaluatorShardedChurnTrial|BenchmarkZooBatchCertTrial|BenchmarkZooShardedChurnTrial|BenchmarkMonteCarloTheorem2Engine|BenchmarkMonteCarloCertificateEngine|BenchmarkPooledE8WitnessSweep|BenchmarkPooledE10CertSweep|BenchmarkWitnessChecks|BenchmarkOpenLoopServe
 # The multi-core tier: scale-out benchmarks additionally measured at
 # -cpu=$(BENCH_CPUS_MULTI), gated per cpu count on ns/op only (parallel
 # schedules jitter allocation counts; the alloc gate stays -cpu=1-pinned).

@@ -20,6 +20,7 @@ import (
 	"ftcsn/internal/netsim"
 	"ftcsn/internal/rng"
 	"ftcsn/internal/route"
+	"ftcsn/internal/stats"
 )
 
 func benchExperiment(b *testing.B, run func(experiments.Mode) experiments.Result) {
@@ -226,7 +227,7 @@ func benchChurn(b *testing.B, nw *Network, eng route.Engine, batch int) {
 	for wl.Live() < n/2 {
 		reqs := wl.NextConnects(n/2 - wl.Live())
 		res = eng.ConnectBatch(reqs, res)
-		wl.CommitResults(res[:len(reqs)])
+		wl.Commit(res[:len(reqs)])
 	}
 	served := 0
 	connects := 0
@@ -236,7 +237,7 @@ func benchChurn(b *testing.B, nw *Network, eng route.Engine, batch int) {
 		reqs := wl.NextConnects(batch)
 		res = eng.ConnectBatch(reqs, res)
 		connects += len(reqs)
-		wl.CommitResults(res[:len(reqs)])
+		wl.Commit(res[:len(reqs)])
 		k := len(reqs)
 		for _, rel := range wl.NextReleases(k) {
 			if err := eng.Disconnect(rel.In, rel.Out); err != nil {
@@ -254,6 +255,43 @@ func benchChurn(b *testing.B, nw *Network, eng route.Engine, batch int) {
 
 func benchShardedChurn(b *testing.B, nw *Network, shards, batch int) {
 	benchChurn(b, nw, route.NewShardedEngine(nw.G, shards), batch)
+}
+
+// BenchmarkOpenLoopServe measures the open-loop serving path end to end —
+// traffic generation, the virtual-clock event loop with its departure
+// heap, batched ConnectBatch serving, and per-event SLO accounting — on
+// the n=16 network at ~1.5× overload (rejections exercised). Reported as
+// events/s (arrivals + departures); the CI-gated number (BENCH.json)
+// pins both throughput and the loop's zero steady-state allocations.
+func BenchmarkOpenLoopServe(b *testing.B) {
+	nw := benchNetwork(b, 2)
+	se := route.NewShardedEngine(nw.G, 4)
+	const seed = 0x0551
+	src := netsim.NewTrafficSource(seed,
+		netsim.NewPoisson(6.0),
+		netsim.NewExpHolding(4.0),
+		netsim.NewUniformPattern(nw.Inputs(), nw.Outputs()))
+	var l netsim.Loop
+	var slo stats.SLO
+	cfg := netsim.ServeConfig{MaxArrivals: 4096}
+	run := func() {
+		src.Reset(seed)
+		se.Reset()
+		slo.Reset()
+		if err := l.Serve(se, src, cfg, &slo); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run() // warm the loop scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	b.StopTimer()
+	sn := slo.Snapshot()
+	events := sn.Offered + sn.Departed
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
 }
 
 // BenchmarkShardedChurn sweeps shard counts on the n=16 operational
@@ -318,6 +356,7 @@ func BenchmarkEvaluatorTrial(b *testing.B) {
 	m := fault.Symmetric(1e-3)
 	var out core.TrialOutcome
 	r := rng.New(7)
+	ev.EvaluateInto(&out, m, r, 120) // warm the evaluator scratch
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

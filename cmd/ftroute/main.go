@@ -15,6 +15,7 @@ import (
 
 	"ftcsn/internal/core"
 	"ftcsn/internal/fault"
+	"ftcsn/internal/netsim"
 	"ftcsn/internal/rng"
 	"ftcsn/internal/route"
 )
@@ -78,7 +79,8 @@ func main() {
 	}
 
 	rt := route.NewRepairedRouter(inst)
-	connects, failures, pathTotal := core.Churn(rt, nw.Inputs(), nw.Outputs(), *ops, r)
+	var cd netsim.ChurnDriver
+	connects, failures, pathTotal := cd.Run(rt, nw.Inputs(), nw.Outputs(), *ops, r)
 	fmt.Printf("churn: %d connects, %d blocked, mean path length %.1f switches, %d circuits live at end\n",
 		connects, failures, avg(pathTotal, connects-failures), rt.ActiveCircuits())
 	if err := rt.VerifyInvariants(); err != nil {

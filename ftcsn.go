@@ -27,6 +27,22 @@
 //   - Evaluate: the end-to-end Theorem-2 pipeline
 //     (inject → discard repair → majority-access certificate → churn).
 //
+// Beyond the paper's trials, the package tells an operational-serving
+// story: the open-loop traffic subsystem drives any Engine with
+// production-shaped session traffic under a deterministic virtual clock.
+// A TrafficSource composes an arrival process (NewPoisson, NewMMPP
+// bursts, NewDiurnal modulation), a holding-time distribution
+// (NewExpHolding, NewLognormalHolding, NewParetoHolding tails), and a
+// destination pattern (NewUniformPattern, NewHotspotPattern,
+// NewPermutationPattern) over one seeded rng stream; Serve replays the
+// stream against an engine, batching due arrivals and scheduling
+// departures; and SLO streams the serving quality out — rejection rate,
+// live-circuit gauge, offered load in Erlangs, p50/p99/p999 connect
+// latency in events-behind terms — cumulatively and in windows. The
+// whole loop is wall-clock-free and byte-reproducible from (seed,
+// config); cmd/ftserve is the long-running harness over it, sustaining
+// overload regimes the closed-loop Theorem-2 churn never enters.
+//
 // The experiment harness reproducing every quantitative claim of the
 // paper lives in internal/experiments and is driven by cmd/ftbench; see
 // DESIGN.md and EXPERIMENTS.md.
@@ -40,8 +56,10 @@ import (
 	"ftcsn/internal/fault"
 	"ftcsn/internal/graph"
 	"ftcsn/internal/hyperx"
+	"ftcsn/internal/netsim"
 	"ftcsn/internal/rng"
 	"ftcsn/internal/route"
+	"ftcsn/internal/stats"
 	"ftcsn/internal/superconc"
 )
 
@@ -236,3 +254,100 @@ func LowerBoundSize(n int) float64 { return core.LowerBoundSize(n) }
 
 // LowerBoundDepth is Theorem 1's Ω(log n) depth bound: (log₂n)/6.
 func LowerBoundDepth(n int) float64 { return core.LowerBoundDepth(n) }
+
+// --- open-loop traffic subsystem --------------------------------------------
+
+// Arrival is one session-arrival event in virtual time; it carries its
+// own departure (At + Hold).
+type Arrival = netsim.Arrival
+
+// Source is the traffic seam: a deterministic, pull-driven stream of
+// timestamped arrivals.
+type Source = netsim.Source
+
+// TrafficSource composes an arrival process, a holding-time
+// distribution, and a destination pattern over one seeded rng stream.
+type TrafficSource = netsim.TrafficSource
+
+// ArrivalProcess generates inter-arrival gaps; HoldingDist generates
+// session holding times; Pattern generates destination pairs. All draw
+// only from the rng stream they are handed.
+type (
+	ArrivalProcess = netsim.ArrivalProcess
+	HoldingDist    = netsim.HoldingDist
+	Pattern        = netsim.Pattern
+)
+
+// ServeConfig bounds and instruments an open-loop serving run; ServeLoop
+// is the reusable zero-steady-state-alloc event loop behind Serve.
+type (
+	ServeConfig = netsim.ServeConfig
+	ServeLoop   = netsim.Loop
+)
+
+// SLO accumulates SLO-grade serving statistics (rejection rate, live
+// circuits, offered load, events-behind latency quantiles) cumulatively
+// and in windows; SLOSnapshot is one summarized scope. LatencyHist is
+// the underlying fixed-footprint log-scale histogram.
+type (
+	SLO         = stats.SLO
+	SLOSnapshot = stats.SLOSnapshot
+	LatencyHist = stats.LogHist
+)
+
+// NewTrafficSource composes the three traffic pieces into a Source whose
+// (seed, config) pair reproduces its event stream bit for bit.
+func NewTrafficSource(seed uint64, arr ArrivalProcess, hold HoldingDist, pat Pattern) *TrafficSource {
+	return netsim.NewTrafficSource(seed, arr, hold, pat)
+}
+
+// NewPoisson returns homogeneous Poisson arrivals at the given rate.
+func NewPoisson(rate float64) ArrivalProcess { return netsim.NewPoisson(rate) }
+
+// NewMMPP returns two-state Markov-modulated (bursty) Poisson arrivals.
+func NewMMPP(baseRate, burstRate, meanBase, meanBurst float64) ArrivalProcess {
+	return netsim.NewMMPP(baseRate, burstRate, meanBase, meanBurst)
+}
+
+// NewDiurnal returns sinusoidally modulated arrivals: rate(t) =
+// base·(1 + depth·sin(2πt/period)).
+func NewDiurnal(base, depth, period float64) ArrivalProcess {
+	return netsim.NewDiurnal(base, depth, period)
+}
+
+// NewExpHolding returns exponential holding times with the given mean.
+func NewExpHolding(mean float64) HoldingDist { return netsim.NewExpHolding(mean) }
+
+// NewLognormalHolding returns lognormal holding times (mean
+// exp(mu + sigma²/2)).
+func NewLognormalHolding(mu, sigma float64) HoldingDist {
+	return netsim.NewLognormalHolding(mu, sigma)
+}
+
+// NewParetoHolding returns Pareto heavy-tail holding times.
+func NewParetoHolding(shape, scale float64) HoldingDist {
+	return netsim.NewParetoHolding(shape, scale)
+}
+
+// NewUniformPattern draws (input, output) pairs uniformly.
+func NewUniformPattern(inputs, outputs []int32) Pattern {
+	return netsim.NewUniformPattern(inputs, outputs)
+}
+
+// NewHotspotPattern routes a hotFrac share of traffic to the first
+// hotCount outputs.
+func NewHotspotPattern(inputs, outputs []int32, hotCount int, hotFrac float64) Pattern {
+	return netsim.NewHotspotPattern(inputs, outputs, hotCount, hotFrac)
+}
+
+// NewPermutationPattern fixes a seeded random one-to-one input→output
+// mapping and draws inputs uniformly.
+func NewPermutationPattern(inputs, outputs []int32) Pattern {
+	return netsim.NewPermutationPattern(inputs, outputs)
+}
+
+// Serve replays src against eng under a virtual clock, recording every
+// event in slo; see netsim.Loop.Serve for the full contract.
+func Serve(eng Engine, src Source, cfg ServeConfig, slo *SLO) error {
+	return netsim.Serve(eng, src, cfg, slo)
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"ftcsn/internal/fault"
+	"ftcsn/internal/netsim"
 	"ftcsn/internal/rng"
 	"ftcsn/internal/route"
 )
@@ -241,7 +242,8 @@ func TestHealthyChurnNeverBlocks(t *testing.T) {
 	}
 	rt := route.NewRouter(nw.G)
 	r := rng.New(99)
-	connects, failures, _ := Churn(rt, nw.Inputs(), nw.Outputs(), 600, r)
+	var cd netsim.ChurnDriver
+	connects, failures, _ := cd.Run(rt, nw.Inputs(), nw.Outputs(), 600, r)
 	if connects == 0 {
 		t.Fatal("churn made no connects")
 	}

@@ -67,7 +67,6 @@ type Evaluator struct {
 	ac    *AccessChecker
 	rep   MajorityReport
 	rt    *route.Router
-	churn ChurnScratch
 	r     rng.RNG
 
 	// Churn engine seam: the batched pipeline (EvaluateNextInto) drives
@@ -309,9 +308,14 @@ func (ev *Evaluator) evaluateInst(inst *fault.Instance, churnOps int, r *rng.RNG
 	out.MinOutputAccess = minOf(ev.rep.OutputAccess)
 
 	if churnOps > 0 {
+		// SetMasks resets the router (no live circuits), the precondition
+		// of the batched driver. ChurnDriver is bit-identical to the
+		// per-op ChurnWith reference here (sequential batch semantics),
+		// so this legacy path and the batched EvaluateNextInto pipeline
+		// share one production churn entry.
 		ev.rt.SetMasks(ev.masks.VertexOK, ev.masks.EdgeOK)
 		out.ChurnConnects, out.ChurnFailures, out.ChurnPathTotal =
-			ChurnWith(ev.rt, ev.nw.Inputs(), ev.nw.Outputs(), churnOps, r, &ev.churn)
+			ev.cd.Run(ev.rt, ev.nw.Inputs(), ev.nw.Outputs(), churnOps, r)
 	}
 	out.Success = !out.Shorted && out.MajorityAccess && out.ChurnFailures == 0
 }
@@ -348,29 +352,27 @@ func minOf(xs []int) int {
 
 type churnCircuit struct{ in, out int32 }
 
-// ChurnScratch holds the request-generator state Churn reuses across
-// trials: the live-circuit list and the idle terminal pools.
+// ChurnScratch holds the request-generator state ChurnWith reuses across
+// runs: the live-circuit list and the idle terminal pools.
 type ChurnScratch struct {
 	live    []churnCircuit
 	idleIn  []int32
 	idleOut []int32
 }
 
-// Churn drives a router with ops random operations: with probability 1/2
-// (or always, when no circuit exists; never, when all terminals are busy)
-// it connects a uniformly chosen idle input to a uniformly chosen idle
-// output, otherwise it disconnects a uniformly chosen existing circuit.
-// It returns the number of attempted connects, failed connects, and the
-// summed path length of successful connects. This is the operational
-// strictly-nonblocking test: on a strictly nonblocking network failures
-// must be zero regardless of the request sequence.
-func Churn(rt *route.Router, inputs, outputs []int32, ops int, r *rng.RNG) (connects, failures, pathTotal int) {
-	var sc ChurnScratch
-	return ChurnWith(rt, inputs, outputs, ops, r, &sc)
-}
-
-// ChurnWith is Churn with caller-owned scratch, allocation-free once the
-// scratch has warmed up.
+// ChurnWith is the per-op churn REFERENCE — differential use only, not a
+// production entry. It drives a router with ops random operations: with
+// probability 1/2 (or always, when no circuit exists; never, when all
+// terminals are busy) it connects a uniformly chosen idle input to a
+// uniformly chosen idle output, otherwise it disconnects a uniformly
+// chosen existing circuit, returning attempted connects, failed connects,
+// and the summed path length of successes — the operational
+// strictly-nonblocking test. Every production path (the trial pipeline,
+// cmd/ftroute, the experiments) runs the batch-shaped
+// netsim.ChurnDriver instead; TestChurnDriverMatchesPerOp pins the two
+// bit-identical on every sequential-batch engine, which is the only
+// reason this function stays: it is the oracle that differential
+// harnesses and fuzzers replay op by op.
 func ChurnWith(rt *route.Router, inputs, outputs []int32, ops int, r *rng.RNG, sc *ChurnScratch) (connects, failures, pathTotal int) {
 	sc.live = sc.live[:0]
 	sc.idleIn = append(sc.idleIn[:0], inputs...)

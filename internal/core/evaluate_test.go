@@ -71,9 +71,11 @@ func TestEvaluatorCertifiesFaultFree(t *testing.T) {
 	}
 }
 
-// TestChurnWithMatchesChurn: the scratch variant of churn reproduces the
-// allocating one exactly (same RNG consumption, same decisions).
-func TestChurnWithMatchesChurn(t *testing.T) {
+// TestEvaluatorChurnDeterministic: two evaluators (each reusing its own
+// churn driver and scratch across trials) produce identical outcomes for
+// identical (model, seed) trials — state reuse leaks nothing between
+// trials.
+func TestEvaluatorChurnDeterministic(t *testing.T) {
 	nw := buildSmall(t)
 	ev1 := NewEvaluator(nw)
 	ev2 := NewEvaluator(nw)

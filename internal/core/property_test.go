@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"ftcsn/internal/fault"
+	"ftcsn/internal/netsim"
 	"ftcsn/internal/rng"
 	"ftcsn/internal/route"
 )
@@ -195,8 +196,9 @@ func TestChurnAgainstRouterInvariants(t *testing.T) {
 	inst := fault.Inject(nw.G, fault.Symmetric(0.002), rng.New(12))
 	rt := route.NewRepairedRouter(inst)
 	r := rng.New(13)
+	var cd netsim.ChurnDriver
 	for round := 0; round < 10; round++ {
-		Churn(rt, nw.Inputs(), nw.Outputs(), 50, r)
+		cd.Run(rt, nw.Inputs(), nw.Outputs(), 50, r)
 		if err := rt.VerifyInvariants(); err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}

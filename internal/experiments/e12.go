@@ -6,6 +6,7 @@ import (
 	"ftcsn/internal/core"
 	"ftcsn/internal/graph"
 	"ftcsn/internal/maxflow"
+	"ftcsn/internal/netsim"
 	"ftcsn/internal/rng"
 	"ftcsn/internal/route"
 	"ftcsn/internal/stats"
@@ -171,6 +172,7 @@ func isRearrangeableSampled(g *graph.Graph, samples int, r *rng.RNG) bool {
 // any connect between idle terminals ever failed.
 func neverBlocksUnderChurn(g *graph.Graph, ops int, r *rng.RNG) bool {
 	rt := route.NewRouter(g)
-	_, failures, _ := core.Churn(rt, g.Inputs(), g.Outputs(), ops, r)
+	var cd netsim.ChurnDriver
+	_, failures, _ := cd.Run(rt, g.Inputs(), g.Outputs(), ops, r)
 	return failures == 0
 }

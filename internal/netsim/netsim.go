@@ -1,7 +1,7 @@
-// Package netsim is a concurrent, message-passing simulator of circuit
+// This file is the concurrent, message-passing simulator of circuit
 // switching at the link level: every link (vertex) of the network runs as
 // its own goroutine and owns its state exclusively, in CSP style — no
-// locks, no shared mutable memory.
+// locks, no shared mutable memory. (Package doc: doc.go.)
 //
 // Circuit establishment follows the classic distributed probe/ack/release
 // protocol with backtracking, the on-line path-selection setting of

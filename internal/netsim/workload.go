@@ -1,8 +1,10 @@
 package netsim
 
-// Workload is the operational churn generator: a deterministic stream of
-// connect batches and release picks over a fixed terminal set, modelling
-// the continuous session traffic the paper's §4 routing claim is about.
+// Workload is the closed-loop churn generator — the feedback-coupled
+// counterpart of the open-loop Source seam (source.go): instead of
+// timestamped arrivals drawn independently of the network, it emits
+// connect batches and release picks whose composition depends on the
+// engine's own accept/reject decisions, the Theorem-2 churn protocol.
 // It is engine-agnostic — the same stream drives the link-level Sim, the
 // sequential route.Router, and route.ShardedEngine — which is what the
 // differential harnesses lean on: identical decisions imply identical
@@ -74,12 +76,17 @@ func (w *Workload) NextConnects(k int) []route.Request {
 	return w.reqs
 }
 
-// Commit feeds the decisions for the pending batch back: ok[i] reports
-// whether request i was accepted. Accepted circuits go live; rejected
-// endpoints return to the idle pools.
-func (w *Workload) Commit(ok func(i int) bool) {
+// Commit feeds the engine's decisions for the pending batch back:
+// request i was accepted iff res[i].Path != nil — the route.Result
+// convention every engine produces, so the engine's ConnectBatch output
+// (or a prefix covering the batch) is passed straight through. Accepted
+// circuits go live; rejected endpoints return to the idle pools.
+func (w *Workload) Commit(res []route.Result) {
+	if len(res) < len(w.reqs) {
+		panic("netsim: Commit with fewer results than pending requests")
+	}
 	for i, rq := range w.reqs {
-		if ok(i) {
+		if res[i].Path != nil {
 			w.live = append(w.live, liveCircuit{rq.In, rq.Out})
 		} else {
 			w.idleIn = append(w.idleIn, rq.In)
@@ -87,12 +94,6 @@ func (w *Workload) Commit(ok func(i int) bool) {
 		}
 	}
 	w.reqs = w.reqs[:0]
-}
-
-// CommitResults is Commit fed from a route result slice (accepted ⇔ a
-// path was established).
-func (w *Workload) CommitResults(res []route.Result) {
-	w.Commit(func(i int) bool { return res[i].Path != nil })
 }
 
 // NextReleases removes up to k uniformly chosen live circuits and returns

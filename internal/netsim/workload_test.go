@@ -18,6 +18,23 @@ func buildSmall(t testing.TB) *core.Network {
 	return nw
 }
 
+// acceptedPath marks a request accepted in a hand-built decision slice.
+var acceptedPath = []int32{}
+
+// decisions builds the []route.Result feedback slice for a batch from an
+// arbitrary accept predicate — test-side scaffolding for driving Commit
+// without a real engine.
+func decisions(reqs []route.Request, ok func(i int) bool) []route.Result {
+	res := make([]route.Result, len(reqs))
+	for i := range res {
+		res[i].Request = reqs[i]
+		if ok(i) {
+			res[i].Path = acceptedPath
+		}
+	}
+	return res
+}
+
 // TestWorkloadDeterminism: two workloads with the same seed and the same
 // decision feedback produce identical request streams.
 func TestWorkloadDeterminism(t *testing.T) {
@@ -36,8 +53,8 @@ func TestWorkloadDeterminism(t *testing.T) {
 			}
 		}
 		// Identical (arbitrary) decision feedback keeps them in lockstep.
-		a.Commit(func(i int) bool { return i%2 == 0 })
-		b.Commit(func(i int) bool { return i%2 == 0 })
+		a.Commit(decisions(ra, func(i int) bool { return i%2 == 0 }))
+		b.Commit(decisions(rb, func(i int) bool { return i%2 == 0 }))
 		la := a.NextReleases(1)
 		lb := b.NextReleases(1)
 		if len(la) != len(lb) || (len(la) > 0 && la[0] != lb[0]) {
@@ -54,7 +71,7 @@ func TestWorkloadPoolsConsistent(t *testing.T) {
 	w := netsim.NewWorkload(nw.Inputs(), nw.Outputs(), 3)
 	for round := 0; round < 50; round++ {
 		reqs := w.NextConnects(3)
-		w.Commit(func(i int) bool { return (round+i)%3 != 0 })
+		w.Commit(decisions(reqs, func(i int) bool { return (round+i)%3 != 0 }))
 		if w.Live()+w.Idle() != n {
 			t.Fatalf("round %d: live %d + idle %d != %d", round, w.Live(), w.Idle(), n)
 		}
@@ -62,8 +79,24 @@ func TestWorkloadPoolsConsistent(t *testing.T) {
 		if w.Live()+w.Idle() != n {
 			t.Fatalf("round %d post-release: live %d + idle %d != %d", round, w.Live(), w.Idle(), n)
 		}
-		_ = reqs
 	}
+}
+
+// TestWorkloadCommitShortResults: Commit must refuse a result slice that
+// does not cover the pending batch.
+func TestWorkloadCommitShortResults(t *testing.T) {
+	nw := buildSmall(t)
+	w := netsim.NewWorkload(nw.Inputs(), nw.Outputs(), 9)
+	reqs := w.NextConnects(3)
+	if len(reqs) < 2 {
+		t.Fatalf("batch too small to test: %d", len(reqs))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Commit accepted a short result slice")
+		}
+	}()
+	w.Commit(decisions(reqs[:len(reqs)-1], func(int) bool { return true }))
 }
 
 // TestWorkloadDrivesSim wires the operational workload through the
@@ -88,7 +121,7 @@ func TestWorkloadDrivesSim(t *testing.T) {
 				cids[[2]int32{rq.In, rq.Out}] = cid
 			}
 		}
-		w.Commit(func(i int) bool { return ok[i] })
+		w.Commit(decisions(reqs, func(i int) bool { return ok[i] }))
 		for _, rel := range w.NextReleases(2) {
 			key := [2]int32{rel.In, rel.Out}
 			s.Release(rel.In, cids[key])
@@ -122,8 +155,8 @@ func TestWorkloadAgreesAcrossEngines(t *testing.T) {
 				t.Fatalf("round %d req %d: engines disagree", round, i)
 			}
 		}
-		wa.Commit(func(i int) bool { return res[i].Path != nil })
-		wb.CommitResults(res[:len(rb)])
+		wa.Commit(res[:len(ra)])
+		wb.Commit(res[:len(rb)])
 		for _, rel := range wa.NextReleases(2) {
 			rt.Disconnect(rel.In, rel.Out)
 		}
@@ -133,5 +166,53 @@ func TestWorkloadAgreesAcrossEngines(t *testing.T) {
 	}
 	if wa.Live() != wb.Live() {
 		t.Fatalf("live sets diverged: %d vs %d", wa.Live(), wb.Live())
+	}
+}
+
+// TestWorkloadDecisionStreamGolden pins the closed-loop decision stream
+// across the Commit API redesign: the FNV-1a fold of every request,
+// decision bit, release, and live count over 200 rounds against the
+// sequential router was captured with the pre-redesign callback API and
+// must never drift. This is the bit-identity proof the differential
+// harnesses rely on.
+func TestWorkloadDecisionStreamGolden(t *testing.T) {
+	nw, err := core.Build(core.DefaultParams(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := netsim.NewWorkload(nw.Inputs(), nw.Outputs(), 0xF00D)
+	rt := route.NewRouter(nw.G)
+	rt.EnablePathReuse()
+	var res []route.Result
+	var h uint64 = 1469598103934665603 // FNV-1a offset basis
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211 // FNV-1a prime
+	}
+	for round := 0; round < 200; round++ {
+		reqs := wl.NextConnects(4)
+		res = rt.ConnectBatch(reqs, res)
+		for i, rq := range reqs {
+			mix(uint64(uint32(rq.In)))
+			mix(uint64(uint32(rq.Out)))
+			if res[i].Path != nil {
+				mix(1)
+			} else {
+				mix(0)
+			}
+		}
+		wl.Commit(res[:len(reqs)])
+		for _, rel := range wl.NextReleases(2) {
+			mix(uint64(uint32(rel.In)))
+			mix(uint64(uint32(rel.Out)))
+			if err := rt.Disconnect(rel.In, rel.Out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mix(uint64(wl.Live()))
+	}
+	const want = uint64(0xE399321CDF6A71C4)
+	if h != want {
+		t.Fatalf("decision stream hash 0x%016X, want 0x%016X", h, want)
 	}
 }

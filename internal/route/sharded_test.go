@@ -82,7 +82,7 @@ func (d *churnDiff) round(batch, releases int) {
 			}
 		}
 	}
-	d.wl.CommitResults(d.res[:len(reqs)])
+	d.wl.Commit(d.res[:len(reqs)])
 	for _, rel := range d.wl.NextReleases(releases) {
 		if err := d.rt.Disconnect(rel.In, rel.Out); err != nil {
 			d.t.Fatalf("round %d: sequential disconnect (%d,%d): %v", d.rounds, rel.In, rel.Out, err)
@@ -160,7 +160,7 @@ func runInvariance(t *testing.T, nw *core.Network, m core.Masks, shards int, pf 
 				trace += "-"
 			}
 		}
-		wl.CommitResults(res[:len(reqs)])
+		wl.Commit(res[:len(reqs)])
 		for _, rel := range wl.NextReleases(n / 3) {
 			if err := se.Disconnect(rel.In, rel.Out); err != nil {
 				t.Fatalf("shards=%d round %d: disconnect: %v", shards, round, err)
@@ -261,7 +261,7 @@ func TestShardedFastPathDominatesLightChurn(t *testing.T) {
 	for round := 0; round < 50; round++ {
 		reqs := wl.NextConnects(4)
 		res = se.ServeBatch(reqs, res)
-		wl.CommitResults(res[:len(reqs)])
+		wl.Commit(res[:len(reqs)])
 		for _, rel := range wl.NextReleases(4) {
 			if err := se.Disconnect(rel.In, rel.Out); err != nil {
 				t.Fatal(err)
@@ -423,7 +423,7 @@ func FuzzShardedVsSequential(f *testing.F) {
 					}
 				}
 			}
-			wl.CommitResults(res[:len(reqs)])
+			wl.Commit(res[:len(reqs)])
 			for _, rel := range wl.NextReleases(batch / 2) {
 				rt.Disconnect(rel.In, rel.Out)
 				se.Disconnect(rel.In, rel.Out)

@@ -63,7 +63,7 @@ func TestShardedStatsIdentitiesUnderChurn(t *testing.T) {
 		for round := 0; round < 40; round++ {
 			reqs := wl.NextConnects(n)
 			res = se.ServeBatch(reqs, res)
-			wl.CommitResults(res[:len(reqs)])
+			wl.Commit(res[:len(reqs)])
 			for _, rel := range wl.NextReleases(n / 3) {
 				if err := se.Disconnect(rel.In, rel.Out); err != nil {
 					t.Fatal(err)
@@ -131,7 +131,7 @@ func TestAdaptivePrefilterEngageDisengage(t *testing.T) {
 	for round := 0; round < 25; round++ {
 		reqs := wl.NextConnects(n)
 		res = se.ServeBatch(reqs, res)
-		wl.CommitResults(res[:len(reqs)])
+		wl.Commit(res[:len(reqs)])
 		for _, rel := range wl.NextReleases(n / 2) {
 			if err := se.Disconnect(rel.In, rel.Out); err != nil {
 				t.Fatal(err)
@@ -152,7 +152,7 @@ func TestAdaptivePrefilterEngageDisengage(t *testing.T) {
 	for round := 0; round < 6; round++ {
 		reqs := wl2.NextConnects(4)
 		res = se.ServeBatch(reqs, res)
-		wl2.CommitResults(res[:len(reqs)])
+		wl2.Commit(res[:len(reqs)])
 		for _, rel := range wl2.NextReleases(4) {
 			if err := se.Disconnect(rel.In, rel.Out); err != nil {
 				t.Fatal(err)

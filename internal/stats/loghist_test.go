@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"testing"
+
+	"ftcsn/internal/rng"
+)
+
+func TestLogBucketSmallValuesExact(t *testing.T) {
+	for v := uint64(0); v < logHistSubCount; v++ {
+		if b := logBucketOf(v); b != int(v) {
+			t.Fatalf("logBucketOf(%d) = %d, want exact", v, b)
+		}
+		if low := logBucketLow(int(v)); low != v {
+			t.Fatalf("logBucketLow(%d) = %d, want %d", v, low, v)
+		}
+	}
+}
+
+// Every value must land in a bucket whose lower bound is at most the
+// value, with relative width bounded by 2^-logHistSubBits.
+func TestLogBucketRelativeError(t *testing.T) {
+	var r rng.RNG
+	r.Reseed(0xB0C4E7)
+	check := func(v uint64) {
+		b := logBucketOf(v)
+		low := logBucketLow(b)
+		if low > v {
+			t.Fatalf("bucket lower bound %d above value %d (bucket %d)", low, v, b)
+		}
+		// Next bucket's lower bound must exceed v, and the bucket width
+		// must be <= low / 32 for values >= 32.
+		var high uint64
+		if b+1 < logHistBuckets {
+			high = logBucketLow(b + 1)
+			if high <= v {
+				t.Fatalf("value %d at or past next bucket bound %d (bucket %d)", v, high, b)
+			}
+		}
+		if v >= logHistSubCount && high != 0 {
+			if width := high - low; width > low/logHistSubCount+1 {
+				t.Fatalf("bucket %d width %d exceeds relative bound (low %d)", b, width, low)
+			}
+		}
+	}
+	for v := uint64(0); v < 4096; v++ {
+		check(v)
+	}
+	for i := 0; i < 10000; i++ {
+		// Random magnitudes across the full 64-bit range.
+		shift := r.Intn(63)
+		check(r.Uint64() >> uint(shift))
+	}
+	check(^uint64(0)) // max value must not overflow the array
+}
+
+func TestLogBucketMonotone(t *testing.T) {
+	prev := -1
+	for _, v := range []uint64{0, 1, 31, 32, 33, 63, 64, 100, 1 << 20, 1<<20 + 1, 1 << 40, ^uint64(0)} {
+		b := logBucketOf(v)
+		if b < prev {
+			t.Fatalf("bucket order violated at value %d: bucket %d < previous %d", v, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestLogHistQuantiles(t *testing.T) {
+	var h LogHist
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %d, want 0", got)
+	}
+	// 1..100 observed once each: quantiles are exact below 32, within
+	// 1/32 relative error above.
+	for v := uint64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", h.Count())
+	}
+	if h.Max() != 100 {
+		t.Fatalf("Max = %d, want 100", h.Max())
+	}
+	if got := h.Quantile(0.25); got != 25 {
+		t.Fatalf("p25 = %d, want exact 25", got)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 96 || p99 > 99 {
+		t.Fatalf("p99 = %d, want within a bucket of 99", p99)
+	}
+	if got, want := h.Mean(), 50.5; got != want {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+}
+
+func TestLogHistMergeReset(t *testing.T) {
+	var a, b LogHist
+	for v := uint64(0); v < 50; v++ {
+		a.Observe(v)
+	}
+	for v := uint64(50); v < 100; v++ {
+		b.Observe(v)
+	}
+	a.Merge(&b)
+	if a.Count() != 100 || a.Max() != 99 {
+		t.Fatalf("after merge: count %d max %d", a.Count(), a.Max())
+	}
+	if got := a.Quantile(0.5); got < 48 || got > 50 {
+		t.Fatalf("merged p50 = %d", got)
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Max() != 0 || a.Quantile(0.9) != 0 {
+		t.Fatal("Reset did not empty the histogram")
+	}
+}
+
+func TestLogHistObserveAllocFree(t *testing.T) {
+	var h LogHist
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(12345)
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %v per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,84 @@
+package stats
+
+import "testing"
+
+func TestSLOCountersAndWindows(t *testing.T) {
+	var s SLO
+
+	// Two arrivals in the first window: one accepted (hold 2.0), one
+	// rejected.
+	s.ObserveConnect(1.0, 2.0, 0, true)
+	s.ObserveConnect(2.0, 3.0, 1, false)
+	if s.Live() != 1 {
+		t.Fatalf("Live = %d, want 1", s.Live())
+	}
+
+	w1 := s.Window()
+	if w1.Offered != 2 || w1.Accepted != 1 || w1.Rejected != 1 {
+		t.Fatalf("window 1 counters: %+v", w1)
+	}
+	if w1.Start != 0 || w1.End != 2.0 {
+		t.Fatalf("window 1 span [%v, %v], want [0, 2]", w1.Start, w1.End)
+	}
+	if w1.RejectRate != 0.5 {
+		t.Fatalf("window 1 reject rate %v, want 0.5", w1.RejectRate)
+	}
+	// Offered load: 5.0 hold-time over 2.0 time units.
+	if w1.OfferedLoad != 2.5 {
+		t.Fatalf("window 1 offered load %v, want 2.5", w1.OfferedLoad)
+	}
+	if w1.PeakLive != 1 || w1.Live != 1 {
+		t.Fatalf("window 1 live/peak: %+v", w1)
+	}
+	if w1.P50 != 0 || w1.MaxBehind != 1 {
+		t.Fatalf("window 1 latency: p50=%d max=%d", w1.P50, w1.MaxBehind)
+	}
+
+	// Second window: the circuit departs, one more accepted arrival.
+	s.ObserveRelease(3.0)
+	s.ObserveConnect(4.0, 1.0, 2, true)
+
+	w2 := s.Window()
+	if w2.Start != 2.0 || w2.End != 4.0 {
+		t.Fatalf("window 2 span [%v, %v], want [2, 4]", w2.Start, w2.End)
+	}
+	if w2.Offered != 1 || w2.Accepted != 1 || w2.Departed != 1 {
+		t.Fatalf("window 2 counters: %+v", w2)
+	}
+	// Window peak re-arms to the live count at the window boundary (1),
+	// dips to 0 on departure, back to 1 on accept.
+	if w2.PeakLive != 1 || w2.Live != 1 {
+		t.Fatalf("window 2 live/peak: %+v", w2)
+	}
+
+	// Cumulative snapshot spans everything.
+	c := s.Snapshot()
+	if c.Start != 0 || c.End != 4.0 {
+		t.Fatalf("cumulative span [%v, %v], want [0, 4]", c.Start, c.End)
+	}
+	if c.Offered != 3 || c.Accepted != 2 || c.Rejected != 1 || c.Departed != 1 {
+		t.Fatalf("cumulative counters: %+v", c)
+	}
+	if c.MaxBehind != 2 {
+		t.Fatalf("cumulative max behind %d, want 2", c.MaxBehind)
+	}
+	if c.OfferedLoad != 6.0/4.0 {
+		t.Fatalf("cumulative offered load %v, want 1.5", c.OfferedLoad)
+	}
+
+	s.Reset()
+	if s.Live() != 0 || s.Snapshot().Offered != 0 {
+		t.Fatal("Reset did not clear the SLO")
+	}
+}
+
+func TestSLOObserveAllocFree(t *testing.T) {
+	var s SLO
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.ObserveConnect(1.0, 2.0, 3, true)
+		s.ObserveRelease(2.0)
+	})
+	if allocs != 0 {
+		t.Fatalf("SLO observe path allocates %v per call, want 0", allocs)
+	}
+}
