@@ -63,6 +63,7 @@ FUZZERS := \
 	./internal/core:FuzzBatchedMajorityAccess \
 	./internal/core:FuzzBatchChurnVsPerOp \
 	./internal/route:FuzzShardedVsSequential \
+	./internal/route:FuzzIncrementalGuide \
 	./internal/hyperx:FuzzBuild \
 	./internal/circulant:FuzzBuild
 
@@ -80,7 +81,7 @@ fuzz-smoke:
 # ns/op regression at any cpu count, or any allocs/op increase at cpu=1,
 # fails), bench-baseline refreshes the baseline.
 
-BENCH_GATED := BenchmarkShardedChurn|BenchmarkShardedChurnParallel|BenchmarkGreedyConnect|BenchmarkEvaluatorTrial|BenchmarkEvaluatorBatchTrial|BenchmarkEvaluatorBatchCertTrial|BenchmarkEvaluatorShardedChurnTrial|BenchmarkZooBatchCertTrial|BenchmarkZooShardedChurnTrial|BenchmarkMonteCarloTheorem2Engine|BenchmarkMonteCarloCertificateEngine|BenchmarkPooledE8WitnessSweep|BenchmarkPooledE10CertSweep|BenchmarkWitnessChecks|BenchmarkOpenLoopServe
+BENCH_GATED := BenchmarkShardedChurn|BenchmarkShardedChurnParallel|BenchmarkGreedyConnect|BenchmarkEvaluatorTrial|BenchmarkEvaluatorBatchTrial|BenchmarkEvaluatorBatchCertTrial|BenchmarkEvaluatorShardedChurnTrial|BenchmarkZooBatchCertTrial|BenchmarkZooShardedChurnTrial|BenchmarkMonteCarloTheorem2Engine|BenchmarkMonteCarloCertificateEngine|BenchmarkPooledE8WitnessSweep|BenchmarkPooledE10CertSweep|BenchmarkWitnessChecks|BenchmarkOpenLoopServe|BenchmarkIncrementalGuideEpoch
 # The multi-core tier: scale-out benchmarks additionally measured at
 # -cpu=$(BENCH_CPUS_MULTI), gated per cpu count on ns/op only (parallel
 # schedules jitter allocation counts; the alloc gate stays -cpu=1-pinned).

@@ -17,6 +17,7 @@ import (
 	"ftcsn/internal/experiments"
 	"ftcsn/internal/fault"
 	"ftcsn/internal/montecarlo"
+	"ftcsn/internal/multibutterfly"
 	"ftcsn/internal/netsim"
 	"ftcsn/internal/rng"
 	"ftcsn/internal/route"
@@ -746,4 +747,72 @@ func BenchmarkIsolatedPair(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_, _ = inst.IsolatedPair()
 	}
+}
+
+// BenchmarkIncrementalGuideEpoch is the big-n tier for the incrementally
+// maintained output-reachability guide: a multibutterfly on n=4096
+// terminals (13 columns, ~53k vertices, ~190k switches, 64 guide words per
+// vertex under SetGuideLimit). Each diff=k iteration applies a fixed
+// k-switch fault diff and reverts it — two guide epochs through
+// MasksChangedDiff's seeded reverse-cone worklist — so per-epoch cost
+// scales with the diff size and the cone it actually dirties, not with E.
+// The rebuild row is the identical apply+revert driven through the
+// MasksChanged full sweep: the O(E·groups) denominator of the tentpole's
+// ≥10× single-fault target. Steady state must not allocate (cpu=1 gate).
+func BenchmarkIncrementalGuideEpoch(b *testing.B) {
+	mb, err := multibutterfly.New(12, 2, 0xB16B00)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := mb.G
+	se := route.NewShardedEngine(g, 1)
+	inst := fault.NewInstance(g)
+	mu := core.NewMaskUpdater(g)
+	var m core.Masks
+	mu.Init(inst, &m)
+	se.SetMasksShared(m.VertexOK, m.EdgeOK, m.OutAllowed)
+	se.SetGuideLimit(64)
+	if w, groups := se.GuideWords(); w == nil || groups != 64 {
+		b.Fatalf("guide not built at full width: %d groups", groups)
+	}
+
+	// Fixed diffs: k switches spread evenly across the stages, so the
+	// reverse cones start at different levels of the same instance.
+	makeDiff := func(k int) []fault.DiffEntry {
+		diff := make([]fault.DiffEntry, k)
+		stride := g.NumEdges() / k
+		for i := range diff {
+			diff[i] = fault.DiffEntry{Edge: int32(i*stride + i), Old: fault.Normal, New: fault.Open}
+		}
+		return diff
+	}
+	epoch := func(diff []fault.DiffEntry, notify func(edges []int32)) {
+		fault.ApplyDiff(inst, diff)
+		notify(mu.Apply(inst, &m, diff))
+		fault.RevertDiff(inst, diff)
+		notify(mu.Apply(inst, &m, diff))
+	}
+
+	for _, k := range []int{1, 16} {
+		b.Run(fmt.Sprintf("diff=%d", k), func(b *testing.B) {
+			diff := makeDiff(k)
+			incremental := func(edges []int32) { se.MasksChangedDiff(mu.ChangedVertices(), edges) }
+			epoch(diff, incremental) // warm the worklist and updater scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				epoch(diff, incremental)
+			}
+		})
+	}
+	b.Run("rebuild", func(b *testing.B) {
+		diff := makeDiff(1)
+		rebuild := func([]int32) { se.MasksChanged() }
+		epoch(diff, rebuild)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			epoch(diff, rebuild)
+		}
+	})
 }

@@ -81,6 +81,21 @@ type Evaluator struct {
 	cd       netsim.ChurnDriver
 	engDirty bool
 
+	// Accumulated change lists for the engine's incremental refresh
+	// (route.Engine.MasksChangedDiff): every mu.Apply between engine
+	// notifications merges its flipped vertices and recomputed edges here,
+	// epoch-deduplicated, so the diff handed to the engine covers every
+	// byte edit since it last derived state — across as many trials as the
+	// churn phase skips. The lists are arena-backed at full nV/nE capacity
+	// (dedup bounds their length), so accumulation never allocates.
+	// pendFull marks an edit recorded without its lists (the
+	// certificate-only path, which never pays churn and so never tracks);
+	// the next churn phase then falls back to the full MasksChanged.
+	pendV, pendE     []int32
+	pendVEp, pendEEp []uint32
+	pendEpoch        uint32
+	pendFull         bool
+
 	// Batched-block engine: the injector advances inst between trials by
 	// diffs, the mask updater keeps masks (and the engines' shared view of
 	// them) current from those diffs, and synced tracks whether the
@@ -120,6 +135,11 @@ func NewEvaluatorIn(nw *Network, a *arena.Arena) *Evaluator {
 	ev.masks.EdgeOK = a.Bools(nE)
 	ev.masks.OutAllowed = a.Bytes(nE)
 	ev.masks.InAllowed = a.Bytes(nE)
+	ev.pendV = a.I32(nV)[:0]
+	ev.pendE = a.I32(nE)[:0]
+	ev.pendVEp = a.U32(nV)
+	ev.pendEEp = a.U32(nE)
+	ev.pendEpoch = 1
 	return ev
 }
 
@@ -220,7 +240,48 @@ func (ev *Evaluator) resync() {
 	ev.mu.Init(ev.inst, &ev.masks)
 	ev.eng.SetMasksShared(ev.masks.VertexOK, ev.masks.EdgeOK, ev.masks.OutAllowed)
 	ev.engDirty = false
+	ev.clearPending()
 	ev.synced = true
+}
+
+// noteMaskEdits merges the latest mu.Apply's change lists (edges: its
+// return value; vertices: ChangedVertices) into the pending diff the
+// engine receives at the next churn phase. Dedup is epoch-stamped, so the
+// arena-backed lists never outgrow their nV/nE capacity.
+//
+//ftcsn:hotpath per-trial diff bookkeeping on the batched pipeline
+func (ev *Evaluator) noteMaskEdits(edges []int32) {
+	if len(edges) == 0 {
+		return
+	}
+	ev.engDirty = true
+	for _, v := range ev.mu.ChangedVertices() {
+		if ev.pendVEp[v] != ev.pendEpoch {
+			ev.pendVEp[v] = ev.pendEpoch
+			ev.pendV = append(ev.pendV, v)
+		}
+	}
+	for _, e := range edges {
+		if ev.pendEEp[e] != ev.pendEpoch {
+			ev.pendEEp[e] = ev.pendEpoch
+			ev.pendE = append(ev.pendE, e)
+		}
+	}
+}
+
+// clearPending forgets the accumulated diff after the engine consumed it
+// (or resync handed the engine a fresh full view). O(1): epoch bump; the
+// stamp arrays are cleared only on the ~4-billion-epoch wraparound.
+func (ev *Evaluator) clearPending() {
+	ev.pendV = ev.pendV[:0]
+	ev.pendE = ev.pendE[:0]
+	ev.pendFull = false
+	ev.pendEpoch++
+	if ev.pendEpoch == 0 {
+		clear(ev.pendVEp)
+		clear(ev.pendEEp)
+		ev.pendEpoch = 1
+	}
 }
 
 // EvaluateNextInto runs the next trial of the current block — the batched
@@ -232,9 +293,7 @@ func (ev *Evaluator) resync() {
 func (ev *Evaluator) EvaluateNextInto(out *TrialOutcome, churnOps int) {
 	ev.requireSynced()
 	diff := ev.batch.ApplyNext(ev.inst)
-	if len(ev.mu.Apply(ev.inst, &ev.masks, diff)) > 0 {
-		ev.engDirty = true
-	}
+	ev.noteMaskEdits(ev.mu.Apply(ev.inst, &ev.masks, diff))
 	ev.r.SetState(ev.batch.RNGState(ev.batch.Applied()))
 	*out = TrialOutcome{
 		FailedSwitches: ev.inst.NumFailed(),
@@ -255,10 +314,19 @@ func (ev *Evaluator) EvaluateNextInto(out *TrialOutcome, churnOps int) {
 		// engine refresh anything it derives from the edited bytes (the
 		// sharded engine's routing guide), and drive the batch-shaped op
 		// stream — bit-identical to per-op ChurnWith on the router (see
-		// netsim.ChurnDriver and the differential harness).
+		// netsim.ChurnDriver and the differential harness). The refresh is
+		// incremental — the accumulated change lists bound the engine's
+		// work to the diff's reverse cone — unless an untracked edit (a
+		// certificate-only trial in between) forces the full rebuild; the
+		// two are bit-identical either way.
 		ev.eng.Reset()
 		if ev.engDirty {
-			ev.eng.MasksChanged()
+			if ev.pendFull {
+				ev.eng.MasksChanged()
+			} else {
+				ev.eng.MasksChangedDiff(ev.pendV, ev.pendE)
+			}
+			ev.clearPending()
 			ev.engDirty = false
 		}
 		out.ChurnConnects, out.ChurnFailures, out.ChurnPathTotal =
@@ -275,8 +343,12 @@ func (ev *Evaluator) EvaluateNextInto(out *TrialOutcome, churnOps int) {
 func (ev *Evaluator) EvaluateNextCertInto(out *TrialOutcome) {
 	ev.requireSynced()
 	diff := ev.batch.ApplyNext(ev.inst)
+	// Record the edit without its lists: the certificate path never pays
+	// a churn phase itself, so it skips per-trial diff bookkeeping; a
+	// later churn trial falls back to the full refresh.
 	if len(ev.mu.Apply(ev.inst, &ev.masks, diff)) > 0 {
 		ev.engDirty = true
+		ev.pendFull = true
 	}
 	*out = TrialOutcome{
 		FailedSwitches: ev.inst.NumFailed(),

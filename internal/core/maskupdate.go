@@ -21,12 +21,13 @@ import (
 type MaskUpdater struct {
 	g *graph.Graph
 
-	vEpoch []uint32
-	eEpoch []uint32
-	vCur   uint32
-	eCur   uint32
-	dirtyV []int32
-	dirtyE []int32
+	vEpoch  []uint32
+	eEpoch  []uint32
+	vCur    uint32
+	eCur    uint32
+	dirtyV  []int32
+	dirtyE  []int32
+	flipped []int32 // vertices whose usability actually flipped in the last Apply
 }
 
 // NewMaskUpdater returns an updater for graphs over g.
@@ -64,6 +65,7 @@ func (mu *MaskUpdater) Apply(inst *fault.Instance, m *Masks, diff []fault.DiffEn
 	mu.bump()
 	mu.dirtyV = mu.dirtyV[:0]
 	mu.dirtyE = mu.dirtyE[:0]
+	mu.flipped = mu.flipped[:0]
 	for _, d := range diff {
 		mu.markEdge(d.Edge)
 		mu.markVertex(g.EdgeFrom(d.Edge))
@@ -78,6 +80,7 @@ func (mu *MaskUpdater) Apply(inst *fault.Instance, m *Masks, diff []fault.DiffEn
 			continue
 		}
 		m.VertexOK[v] = ok
+		mu.flipped = append(mu.flipped, v)
 		// A flipped vertex invalidates every incident switch's entry.
 		for _, e := range g.OutEdges(v) {
 			mu.markEdge(e)
@@ -95,6 +98,26 @@ func (mu *MaskUpdater) Apply(inst *fault.Instance, m *Masks, diff []fault.DiffEn
 		setAllowedBit(m.InAllowed, g.InSlot(e), ok)
 	}
 	return mu.dirtyE
+}
+
+// ChangedVertices returns the vertices whose usability flipped in the
+// last Apply (not the merely-touched endpoints) — together with Apply's
+// returned edge list, the exact change set an engine needs to refresh
+// derived state incrementally (route.Engine.MasksChangedDiff). Valid
+// until the next Apply.
+func (mu *MaskUpdater) ChangedVertices() []int32 { return mu.flipped }
+
+// Revert undoes a previously applied diff on both the instance and the
+// masks: it restores every entry's Old state (fault.RevertDiff) and then
+// re-derives the affected mask neighborhood exactly as Apply does — legal
+// because Apply reads only the diff's edge IDs against inst's current
+// state. The returned edge list (and ChangedVertices) describe the revert
+// itself, ready to hand to MasksChangedDiff. Note fault.RevertDiff's
+// caveat: a BatchInjector's applied-list tracking is not updated — re-
+// apply the diff (or Rebase) before the injector's next ApplyNext.
+func (mu *MaskUpdater) Revert(inst *fault.Instance, m *Masks, diff []fault.DiffEntry) []int32 {
+	fault.RevertDiff(inst, diff)
+	return mu.Apply(inst, m, diff)
 }
 
 // setAllowedBit updates the AdjBlocked bit of one traversal byte, leaving

@@ -4,24 +4,29 @@ import (
 	"fmt"
 
 	"ftcsn/internal/benes"
+	"ftcsn/internal/butterfly"
 	"ftcsn/internal/circulant"
 	"ftcsn/internal/core"
 	"ftcsn/internal/fault"
 	"ftcsn/internal/hammock"
 	"ftcsn/internal/hyperx"
 	"ftcsn/internal/montecarlo"
+	"ftcsn/internal/multibutterfly"
 	"ftcsn/internal/rng"
 	"ftcsn/internal/stats"
 	"ftcsn/internal/superconc"
+	"ftcsn/internal/trees"
 )
 
 // E14FamilyZoo compares topology families under the identical fault and
 // traffic model through the graph.Levels contract: the paper's network 𝒩
 // next to its Mirror() image, a hammock-substituted Beneš (§3's
 // reduction), an expander-based superconcentrator, and the DAG-unrolled
-// hyperx and circulant interconnects — each wrapped by core.WrapGraph so
-// the word-parallel majority-access certifier and the sharded churn
-// engine run on all of them, identity sweep or permuted sweep alike.
+// hyperx and circulant interconnects, and the classic connector baselines
+// (the doubled-tree, the butterfly, and the Leighton–Maggs multibutterfly)
+// — each wrapped by core.WrapGraph so the word-parallel majority-access
+// certifier and the sharded churn engine run on all of them, identity
+// sweep or permuted sweep alike.
 func E14FamilyZoo(mode Mode) Result {
 	res := Result{
 		ID:    "E14",
@@ -61,6 +66,21 @@ func E14FamilyZoo(mode Mode) Result {
 	if cc, err := circulant.New(8, []int{1, 3}, 4); err == nil {
 		nw, werr := core.WrapGraph(cc.G)
 		add("circulant(8;1,3, depth 4)", nw, werr)
+	}
+	// New families append at the END: the certificate and churn seeds are
+	// keyed by family index, so reordering would silently reroll the
+	// committed tables for everything after the insertion point.
+	if tn, err := trees.Doubled(4); err == nil {
+		nw, werr := core.WrapGraph(tn.G)
+		add("doubled-tree(k=4)", nw, werr)
+	}
+	if bf, err := butterfly.New(3); err == nil {
+		nw, werr := core.WrapGraph(bf.G)
+		add("butterfly(k=3)", nw, werr)
+	}
+	if mb, err := multibutterfly.New(3, 2, 0xE14C); err == nil {
+		nw, werr := core.WrapGraph(mb.G)
+		add("multibutterfly(k=3,d=2)", nw, werr)
 	}
 
 	// Structure: which fast path each family takes. "identity" means vertex
@@ -127,6 +147,7 @@ func E14FamilyZoo(mode Mode) Result {
 	res.Notes = append(res.Notes,
 		"only 𝒩 carries Theorem 2's guarantee; the zoo rows measure how far Lemma 6's certificate and greedy churn degrade on families that were never engineered for it — blocked > 0 outside 𝒩 is expected, not a bug",
 		"mirror(𝒩), the superconcentrator, hyperx and circulant all take the permuted sweep (IDs not level-sorted) — before the Levels contract these families had no word-parallel certifier and no sharded fast path at all",
-		"families are compared under the same symmetric-ε fault model and the same batch-shaped churn stream; sizes differ, so compare trends (ε response, blocking onset), not absolute rates")
+		"families are compared under the same symmetric-ε fault model and the same batch-shaped churn stream; sizes differ, so compare trends (ε response, blocking onset), not absolute rates",
+		"the three baselines span the connector spectrum: the doubled-tree (Θ(n) switches, every path through one root, at most one live circuit), the butterfly (unique path per pair, fastest ε decay), and the multibutterfly (constant terminal degree 2d — tolerant of worst-case bounded fault sets but not the paper's random model, per E8)")
 	return res
 }

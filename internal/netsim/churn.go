@@ -44,6 +44,14 @@ package netsim
 // rare under certified instances, so rollbacks amortize to noise; a wholly
 // failing stream degenerates to per-op batches of one, never to wrong
 // results.
+//
+// Between trials the caller advances the fault epoch before calling Run:
+// apply the trial's diff through core.MaskUpdater and notify the engine —
+// Engine.MasksChangedDiff with the updater's changed vertex/edge lists on
+// the incremental path, or Engine.MasksChanged as the full-sweep fallback.
+// Either notification yields bit-identical guides and hence bit-identical
+// churn decisions (route's incremental-guide differentials); the driver
+// itself never touches masks.
 
 import (
 	"fmt"

@@ -206,6 +206,57 @@ func TestChurnDriverAllocFree(t *testing.T) {
 	}
 }
 
+// TestChurnDriverIncrementalMasks runs the full per-epoch lifecycle the
+// trial pipeline performs — fault diff, incremental mask update, engine
+// notification, batch-shaped churn — with the sharded engine kept current
+// through MasksChangedDiff only, never a full MasksChanged. Against a
+// sequential router over the same evolving shared masks, every round's
+// aggregates, live-circuit paths, and final RNG state must stay
+// bit-identical: the incremental guide seam cannot move a single churn
+// decision.
+func TestChurnDriverIncrementalMasks(t *testing.T) {
+	nw := buildSmall(t)
+	g := nw.G
+	inst := fault.NewInstance(g)
+	mu := core.NewMaskUpdater(g)
+	var m core.Masks
+	mu.Init(inst, &m)
+
+	ref := route.NewRouter(g)
+	ref.EnablePathReuse()
+	ref.SetMasksShared(m.VertexOK, m.EdgeOK, m.OutAllowed)
+	se := route.NewShardedEngine(g, 3)
+	se.SetMasksShared(m.VertexOK, m.EdgeOK, m.OutAllowed)
+
+	bi := fault.NewBatchInjector(g)
+	const rounds = 10
+	bi.FillStream(fault.Symmetric(0.05), 0x10C5, 0, rounds)
+	var cdRef, cdSe netsim.ChurnDriver
+	for round := 0; round < rounds; round++ {
+		diff := bi.ApplyNext(inst)
+		edges := mu.Apply(inst, &m, diff)
+		ref.MasksChanged()
+		se.MasksChangedDiff(mu.ChangedVertices(), edges)
+
+		refR := rng.New(uint64(round) + 9)
+		r := rng.New(uint64(round) + 9)
+		wantC, wantF, wantP := cdRef.Run(ref, g.Inputs(), g.Outputs(), 200, refR)
+		gotC, gotF, gotP := cdSe.Run(se, g.Inputs(), g.Outputs(), 200, r)
+		if gotC != wantC || gotF != wantF || gotP != wantP {
+			t.Fatalf("round %d: (connects,failures,pathTotal)=(%d,%d,%d), want (%d,%d,%d)",
+				round, gotC, gotF, gotP, wantC, wantF, wantP)
+		}
+		if r.State() != refR.State() {
+			t.Fatalf("round %d: final RNG state diverged", round)
+		}
+		if got, want := pathSnapshot(se, g), pathSnapshot(ref, g); got != want {
+			t.Fatalf("round %d: live circuit paths diverged:\n%s\nwant:\n%s", round, got, want)
+		}
+		ref.Reset()
+		se.Reset()
+	}
+}
+
 // TestChurnDriverUnequalTerminalSets: with fewer outputs than inputs the
 // output pool can drain while inputs remain idle; the run must end cleanly
 // (matching the per-op generator's release branch) instead of drawing

@@ -394,6 +394,10 @@ func (cr *ConcurrentRouter) Stats() EngineStats { return cr.stats }
 // traversal bytes live.
 func (cr *ConcurrentRouter) MasksChanged() {}
 
+// MasksChangedDiff is a no-op like MasksChanged: no derived per-epoch
+// state to maintain.
+func (cr *ConcurrentRouter) MasksChangedDiff(vertices, edges []int32) {}
+
 // VerifyDisjoint checks that the successful results' paths are pairwise
 // vertex-disjoint (the safety property the CAS claims must enforce).
 func VerifyDisjoint(results []Result) bool {

@@ -26,8 +26,16 @@ package route
 //     CSR-slot traversal bytes (core.MaskUpdater's slices); MasksChanged
 //     tells the engine those adopted bytes were edited in place between
 //     batches, so engines that derive per-epoch state from them (the
-//     sharded engine's routing guide) can refresh. Engines that read the
-//     bytes live treat it as a no-op.
+//     sharded engine's routing guide) can refresh. MasksChangedDiff is
+//     the same notification carrying the exact change lists the maintainer
+//     already computed (core.MaskUpdater.Apply's recomputed edges and
+//     ChangedVertices' usability flips): engines with derived state
+//     refresh incrementally in O(#changes) instead of O(E), with results
+//     bit-identical to a full MasksChanged. The lists may safely
+//     over-approximate but must cover every edit since the last
+//     notification; when the caller cannot bound the edits, MasksChanged
+//     remains the full-rebuild fallback. Engines that read the bytes live
+//     treat both as no-ops.
 //   - Stats reports cumulative serving counters in engine-neutral form.
 //
 // Engines are not safe for concurrent use; ConnectBatch may parallelize
@@ -40,6 +48,7 @@ type Engine interface {
 	Stats() EngineStats
 	SetMasksShared(vertexOK, edgeOK []bool, outAllowed []uint8)
 	MasksChanged()
+	MasksChangedDiff(vertices, edges []int32)
 }
 
 // EngineStats is the engine-neutral cumulative serving record of an
@@ -168,3 +177,8 @@ func (rt *Router) Stats() EngineStats { return rt.stats }
 // MasksChanged is a no-op: the router reads the shared traversal bytes
 // live, so in-place edits between batches need no refresh.
 func (rt *Router) MasksChanged() {}
+
+// MasksChangedDiff is a no-op for the same reason as MasksChanged: no
+// derived per-epoch state exists, so the change lists carry nothing to
+// maintain.
+func (rt *Router) MasksChangedDiff(vertices, edges []int32) {}

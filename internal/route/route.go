@@ -70,6 +70,11 @@ type Router struct {
 	pooled   bool
 	pathPool [][]int32
 
+	// levels is the graph's per-vertex topological level (graph.Levels;
+	// nil on cyclic graphs): the exact pruning cut of the DFS hunt — a
+	// non-output vertex at level(out) or above can never reach out.
+	levels []int32
+
 	stats EngineStats // cumulative ConnectBatch counters (engine seam)
 }
 
@@ -114,6 +119,9 @@ func newRouterIn(g *graph.Graph, vertexOK, edgeOK []bool, a *arena.Arena) *Route
 	}
 	rt.allowedOwned = g.BuildOutAllowed(edgeOK, vertexOK, a.Bytes(g.NumEdges()))
 	rt.allowed = rt.allowedOwned
+	if lv, err := g.Levels(); err == nil {
+		rt.levels = lv.PerVertex()
+	}
 	return rt
 }
 
@@ -202,12 +210,31 @@ func (rt *Router) Connect(in, out int32) ([]int32, error) {
 	start, edges, heads := rt.g.CSROut()
 	allowed := rt.allowed
 	seen, busy, epoch := rt.seenEpoch, rt.busy, rt.epoch
+	// Levels-aware pruning: every edge steps to a strictly higher level
+	// (graph.Levels), so a non-output vertex at level(out) or above can
+	// reach only vertices above level(out) — never out. Skipping such a
+	// vertex is exact: neither it nor anything in its (entirely prunable)
+	// descent cone can discover out, so the pop order and prevEdge chain
+	// of every surviving vertex — hence decisions AND paths — are
+	// bit-identical to the unpruned hunt. On networks whose outputs all
+	// sit on the last level the cut is vacuous; it pays on families with
+	// output levels below the maximum (superconcentrator recursions,
+	// Kahn-leveled wrapped graphs), where an unpruned hunt wanders past
+	// the target's level.
+	lvl := rt.levels
+	var outLvl int32
+	if lvl != nil {
+		outLvl = lvl[out]
+	}
 	for len(rt.queue) > 0 && !found {
 		v := rt.queue[len(rt.queue)-1]
 		rt.queue = rt.queue[:len(rt.queue)-1]
 		for idx := start[v]; idx < start[v+1]; idx++ {
 			w := heads[idx]
 			if !graph.SlotAdmits(allowed[idx], w, out) {
+				continue
+			}
+			if lvl != nil && w != out && lvl[w] >= outLvl {
 				continue
 			}
 			if seen[w] == epoch || busy[w] {

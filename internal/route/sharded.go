@@ -242,6 +242,15 @@ type ShardedEngine struct {
 	guideGroups int
 	outIdx      []int32 // per-vertex output index, -1 = not an output
 
+	// Incremental guide maintenance (MasksChangedDiff): a reverse-cone
+	// worklist over the leveling, a groups-wide row scratch, and the
+	// opt-in width budget (lane words per vertex) that gates whether the
+	// guide exists at all. guideLimit defaults to maxGuideGroups; big-n
+	// callers raise it with SetGuideLimit.
+	guideWl    *graph.LevelWorklist
+	rowScratch []uint64
+	guideLimit int
+
 	// lv is the graph's topological leveling (graph.Levels), the iteration
 	// contract behind the feasibility sweep and the guide rebuild. nil only
 	// for cyclic graphs — the cycle-safe fallback: probes still run (DFS
@@ -252,8 +261,16 @@ type ShardedEngine struct {
 }
 
 // maxGuideGroups bounds the guide's memory at 8 lane words (512 outputs)
-// per vertex; larger networks route unguided.
+// per vertex by default; larger networks route unguided unless the caller
+// raises the budget with SetGuideLimit.
 const maxGuideGroups = 8
+
+// guideRebuildDivisor is the incremental-maintenance cutover: a diff
+// touching at least 1/guideRebuildDivisor of all edges falls back to the
+// full rebuild, whose straight-line sweep beats worklist bookkeeping once
+// most rows are dirty anyway. Purely a cost choice — both paths produce
+// bit-identical guide words.
+const guideRebuildDivisor = 8
 
 // parallelMinPerShard is the phase-A batch size (per shard) below which
 // spawning goroutines costs more than it saves; smaller batches speculate
@@ -301,6 +318,10 @@ func newShardedEngine(g *graph.Graph, cr *ConcurrentRouter, shards int) *Sharded
 		se.outIdx[v] = int32(i)
 	}
 	se.lv, _ = g.Levels()
+	se.guideLimit = maxGuideGroups
+	if se.lv != nil {
+		se.guideWl = graph.NewLevelWorklist(se.lv, n)
+	}
 	se.rebuildGuide()
 	return se
 }
@@ -455,7 +476,122 @@ func (se *ShardedEngine) ConnectBatch(reqs []Request, res []Result) []Result {
 
 // MasksChanged rebuilds the output-reachability guide from the adopted
 // traversal bytes (the Engine-seam name for RefreshGuide — see there).
+// The full-sweep fallback of MasksChangedDiff: callers that know the
+// exact change lists should prefer the diff form, which costs O(#changes)
+// instead of O(E·groups).
 func (se *ShardedEngine) MasksChanged() { se.rebuildGuide() }
+
+// MasksChangedDiff brings the guide up to date after an in-place edit of
+// the shared traversal bytes, given the exact change lists a mask
+// maintainer already has (core.MaskUpdater.Apply returns the recomputed
+// edge IDs; ChangedVertices the usability flips): instead of the O(E·
+// groups) full sweep, it recomputes only the reverse cone of the diff.
+// The worklist is seeded with the tails of the changed edges (a changed
+// slot byte affects exactly its tail's row) plus the changed vertices,
+// and drained in descending level order — every pending successor is
+// final before a row is recomputed — re-deriving each dirty row from the
+// forward CSR and waking a row's predecessors (reverse CSR) only when its
+// words actually changed. Rows outside the cone are untouched, so the
+// result is bit-identical to a full rebuild (locked by
+// TestIncrementalGuideMatchesRebuild and FuzzIncrementalGuide; soundness
+// argument in DESIGN.md §2.13).
+//
+// The lists may safely over-approximate (extra entries recompute to
+// unchanged rows and early-out) but must cover every edge whose byte
+// changed since the guide was last current. Like MasksChanged, it must be
+// called between batches, never concurrently with ServeBatch.
+//
+//ftcsn:hotpath per-epoch guide maintenance — the O(#changes) replacement for the full rebuild
+func (se *ShardedEngine) MasksChangedDiff(vertices, edges []int32) {
+	if se.reachOut == nil {
+		// No guide is derived from the bytes (unleveled graph, too many
+		// outputs, or detached masks); the routers read the bytes live.
+		return
+	}
+	if (len(vertices)+len(edges))*guideRebuildDivisor >= se.g.NumEdges() {
+		se.rebuildGuide()
+		return
+	}
+	wl := se.guideWl
+	wl.Begin()
+	for _, e := range edges {
+		wl.Push(se.g.EdgeFrom(e))
+	}
+	for _, v := range vertices {
+		wl.Push(v)
+	}
+	groups := se.guideGroups
+	start, _, heads := se.g.CSROut()
+	rstart, redges, tails := se.g.CSRIn()
+	outSlotOf := se.g.OutSlot
+	allowed := se.cr.allowed
+	scratch := se.rowScratch[:groups]
+	for v, ok := wl.Next(); ok; v, ok = wl.Next() {
+		// Re-derive v's row from the forward CSR — the same per-vertex
+		// body as rebuildGuide, into scratch so the old row survives for
+		// the change test.
+		clear(scratch)
+		if oi := se.outIdx[v]; oi >= 0 {
+			scratch[int(oi)>>6] |= 1 << (uint(oi) & 63)
+		}
+		for idx := start[v]; idx < start[v+1]; idx++ {
+			c := allowed[idx]
+			w := heads[idx]
+			if c == 0 {
+				wrow := se.reachOut[int(w)*groups : int(w)*groups+groups]
+				for g := range scratch {
+					scratch[g] |= wrow[g]
+				}
+			} else if c == graph.AdjTerminal {
+				if oi := se.outIdx[w]; oi >= 0 {
+					scratch[int(oi)>>6] |= 1 << (uint(oi) & 63)
+				}
+			}
+		}
+		row := se.reachOut[int(v)*groups : int(v)*groups+groups]
+		changed := false
+		for g := range scratch {
+			if row[g] != scratch[g] {
+				changed = true
+				break
+			}
+		}
+		if !changed {
+			// Early-out: predecessors read exactly these words, so the
+			// cone is pruned here.
+			continue
+		}
+		copy(row, scratch)
+		// Wake the predecessors that read v's row: tails of currently
+		// open (c == 0) slots into v. Blocked slots contribute nothing,
+		// and terminal slots read only v's static output bit — and any
+		// tail whose slot byte itself changed is already seeded.
+		for idx := rstart[v]; idx < rstart[v+1]; idx++ {
+			if allowed[outSlotOf(redges[idx])] == 0 {
+				wl.Push(tails[idx])
+			}
+		}
+	}
+}
+
+// SetGuideLimit sets the guide's width budget in 64-output lane words and
+// rebuilds the guide under it. The default budget (8 words = 512 outputs)
+// keeps the guide's memory negligible at paper scale; big-n networks —
+// where incremental maintenance makes a wide guide affordable — opt in to
+// a larger budget. groups <= 0 disables the guide; pruning is exact, so
+// the budget never changes decisions, only probe cost.
+func (se *ShardedEngine) SetGuideLimit(groups int) {
+	se.guideLimit = groups
+	se.rebuildGuide()
+}
+
+// GuideWords exposes the output-reachability guide for tests and
+// diagnostics: the packed rows (guideGroups words per vertex; nil when the
+// guide is off) and the per-vertex word count. Read-only; contents are
+// valid only until the next mask epoch.
+func (se *ShardedEngine) GuideWords() ([]uint64, int) {
+	return se.reachOut, se.guideGroups
+}
 
 // ActiveCircuits returns the number of committed circuits.
 func (se *ShardedEngine) ActiveCircuits() int { return len(se.circ.ins) }
@@ -964,6 +1100,16 @@ func (se *ShardedEngine) probeInto(sc *probeScratch, in, out int32, record bool)
 			gbit = 1 << (uint(oi) & 63)
 		}
 	}
+	// Unguided probes keep the leveling's exact reachability cut (the same
+	// prune as Router.Connect): a non-output vertex at level(out) or above
+	// can never reach out. Guided probes skip it — the guide subsumes the
+	// cut exactly (such a vertex's row cannot hold out's bit).
+	var lvl []int32
+	var outLvl int32
+	if guide == nil && se.lv != nil {
+		lvl = se.lv.PerVertex()
+		outLvl = lvl[out]
+	}
 	seen, epoch := sc.seenEpoch, sc.epoch
 	seen[in] = epoch
 	sc.stack = append(sc.stack[:0], in)
@@ -991,6 +1137,9 @@ func (se *ShardedEngine) probeInto(sc *probeScratch, in, out int32, record bool)
 				continue
 			}
 			if c == 0 && guide != nil && guide[int(w)*groups+gslot]&gbit == 0 {
+				continue
+			}
+			if lvl != nil && w != out && lvl[w] >= outLvl {
 				continue
 			}
 			if seen[w] == epoch || claims[w].Load() != 0 {
@@ -1063,19 +1212,24 @@ func (se *ShardedEngine) rebuildGuide() {
 	groups := (nOut + 63) >> 6
 	// se.cr.allowed == nil means the masks were detached (an owner released
 	// its arena-backed slices); there is nothing to derive a guide from.
-	if se.lv == nil || nOut == 0 || groups > maxGuideGroups || se.cr.allowed == nil {
+	if se.lv == nil || nOut == 0 || groups > se.guideLimit || se.cr.allowed == nil {
 		se.reachOut = nil
 		se.guideGroups = 0
 		return
 	}
 	n := se.g.NumVertices()
 	if cap(se.reachOut) < n*groups {
+		//ftlint:ignore hotpath first-build fallback: steady-state epochs reuse the guide's capacity
 		se.reachOut = make([]uint64, n*groups)
 	} else {
 		se.reachOut = se.reachOut[:n*groups]
 		clear(se.reachOut)
 	}
 	se.guideGroups = groups
+	if cap(se.rowScratch) < groups {
+		//ftlint:ignore hotpath first-build fallback: steady-state epochs reuse the row scratch's capacity
+		se.rowScratch = make([]uint64, groups)
+	}
 	start, _, heads := se.g.CSROut()
 	allowed := se.cr.allowed
 	order := se.lv.Order()

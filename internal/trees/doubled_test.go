@@ -1,0 +1,79 @@
+package trees_test
+
+import (
+	"testing"
+
+	"ftcsn/internal/core"
+	"ftcsn/internal/route"
+	"ftcsn/internal/trees"
+)
+
+func TestDoubledStructure(t *testing.T) {
+	for k := 1; k <= 5; k++ {
+		nw, err := trees.Doubled(k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		n := 1 << uint(k)
+		if nw.G.NumVertices() != 4*n-3 {
+			t.Fatalf("k=%d: %d vertices, want %d", k, nw.G.NumVertices(), 4*n-3)
+		}
+		if nw.G.NumEdges() != 4*n-4 {
+			t.Fatalf("k=%d: %d edges, want %d", k, nw.G.NumEdges(), 4*n-4)
+		}
+		lv, err := nw.G.Levels()
+		if err != nil {
+			t.Fatalf("k=%d: levels: %v", k, err)
+		}
+		if lv.NumLevels() != nw.Columns {
+			t.Fatalf("k=%d: %d levels, want %d", k, lv.NumLevels(), nw.Columns)
+		}
+		if !lv.Sorted() {
+			t.Fatalf("k=%d: vertex IDs not level-sorted", k)
+		}
+		if _, err := core.WrapGraph(nw.G); err != nil {
+			t.Fatalf("k=%d: WrapGraph: %v", k, err)
+		}
+	}
+}
+
+// TestDoubledUniquePath pins the connector's defining property: every
+// input–output pair is routable on an idle fault-free network, the path
+// has exactly 2k+1 hops through the root, and — since all paths share the
+// root — no second circuit can coexist with a live one.
+func TestDoubledUniquePath(t *testing.T) {
+	nw, err := trees.Doubled(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := route.NewRouter(nw.G)
+	ins, outs := nw.G.Inputs(), nw.G.Outputs()
+	for _, in := range ins {
+		for _, out := range outs {
+			path, err := rt.Connect(in, out)
+			if err != nil {
+				t.Fatalf("connect (%d,%d): %v", in, out, err)
+			}
+			if len(path) != nw.Columns {
+				t.Fatalf("connect (%d,%d): path length %d, want %d", in, out, len(path), nw.Columns)
+			}
+			// A second circuit must be blocked while this one holds the root.
+			in2, out2 := ins[(1+indexOf(ins, in))%len(ins)], outs[(1+indexOf(outs, out))%len(outs)]
+			if _, err := rt.Connect(in2, out2); err == nil {
+				t.Fatalf("second circuit (%d,%d) unexpectedly routed around the root", in2, out2)
+			}
+			if err := rt.Disconnect(in, out); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func indexOf(s []int32, v int32) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
